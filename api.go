@@ -1,0 +1,154 @@
+package aalwines
+
+// This file is the public facade of the library: it re-exports the stable
+// entry points so that downstream users program against a single import
+// path. The implementation lives in internal/ packages (see DESIGN.md for
+// the map); everything exposed here is covered by the examples and the
+// api_test.go contract tests.
+
+import (
+	"io"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/gml"
+	"aalwines/internal/loc"
+	"aalwines/internal/network"
+	"aalwines/internal/query"
+	"aalwines/internal/viz"
+	"aalwines/internal/weight"
+	"aalwines/internal/xmlio"
+)
+
+// Network is an MPLS network: topology, label table and routing table.
+type Network = network.Network
+
+// Trace is a witness trace: a sequence of (link, header) steps.
+type Trace = network.Trace
+
+// FailedSet is a set of failed links.
+type FailedSet = network.FailedSet
+
+// Query is a parsed and compiled reachability query ⟨a⟩ b ⟨c⟩ k.
+type Query = query.Query
+
+// Options configure a verification run; the zero value runs the unweighted
+// dual engine without limits.
+type Options = engine.Options
+
+// Result is the outcome of a verification run.
+type Result = engine.Result
+
+// Verdict is the three-valued answer of the analysis.
+type Verdict = engine.Verdict
+
+// Verdict values.
+const (
+	// Unsatisfied: no witness trace exists (conclusive).
+	Unsatisfied = engine.Unsatisfied
+	// Satisfied: a validated witness trace was produced.
+	Satisfied = engine.Satisfied
+	// Inconclusive: the polynomial-time approximations could not decide.
+	Inconclusive = engine.Inconclusive
+)
+
+// WeightSpec is a lexicographic vector of linear expressions over the
+// atomic quantities (Links, Hops, Distance, Failures, Tunnels); see
+// ParseWeight.
+type WeightSpec = weight.Spec
+
+// ParseQuery parses a query such as
+//
+//	<smpls ip> [.#R6] .* [.#R4] <smpls ip> 1
+//
+// against a network, resolving router names, interfaces and labels.
+func ParseQuery(text string, net *Network) (*Query, error) {
+	return query.Parse(text, net)
+}
+
+// ParseWeight parses a minimisation vector such as
+// "Hops, Failures + 3*Tunnels" for Options.Spec.
+func ParseWeight(text string) (WeightSpec, error) {
+	return weight.ParseSpec(text)
+}
+
+// Verify decides the query satisfiability problem (and, with Options.Spec,
+// the minimum witness problem) for a query on a network.
+func Verify(net *Network, q *Query, opts Options) (Result, error) {
+	return engine.Verify(net, q, opts)
+}
+
+// VerifyText parses and verifies a textual query in one call.
+func VerifyText(net *Network, queryText string, opts Options) (Result, error) {
+	return engine.VerifyText(net, queryText, opts)
+}
+
+// ReadXML loads a network from the vendor-agnostic XML format of
+// Appendix A (topo.xml + route.xml).
+func ReadXML(topo, route io.Reader) (*Network, error) {
+	return xmlio.ReadNetwork(topo, route)
+}
+
+// WriteXML serialises a network into the vendor-agnostic XML format.
+func WriteXML(topo, route io.Writer, net *Network) error {
+	if err := xmlio.WriteTopology(topo, net); err != nil {
+		return err
+	}
+	return xmlio.WriteRouting(route, net)
+}
+
+// ReadGML loads a topology from an Internet Topology Zoo GML file; use
+// SynthesizeDataplane to put MPLS forwarding on it.
+func ReadGML(r io.Reader) (*Network, error) {
+	return gml.ReadTopology(r)
+}
+
+// ReadLocations applies Appendix A.2 location JSON to a network's routers.
+func ReadLocations(r io.Reader, net *Network) error {
+	return loc.Read(r, net)
+}
+
+// DistanceFunc assigns a distance to every link; used by the Distance
+// atomic quantity via Options.Dist.
+type DistanceFunc = weight.DistanceFunc
+
+// GeoDistance returns a distance function for Options.Dist based on
+// great-circle distances between router coordinates.
+func GeoDistance(net *Network) DistanceFunc {
+	return loc.DistanceFunc(net)
+}
+
+// SynthesizeDataplane builds the evaluation dataplane (label-switched
+// paths between edgeCount deterministically chosen edge routers, with
+// fast-reroute protection) on an imported topology.
+func SynthesizeDataplane(net *Network, edgeCount int, seed int64) {
+	edge := gen.PickEdgeRouters(net, edgeCount, seed)
+	gen.Build(net, edge, gen.SynthOpts{Protection: true})
+}
+
+// RunningExample returns the paper's Figure 1 network.
+func RunningExample() *Network {
+	return gen.RunningExample().Network
+}
+
+// NewOperatorNetwork generates the NORDUnet-style 31-router operator
+// network with the given number of service chains per edge pair.
+func NewOperatorNetwork(services int, seed int64) *Network {
+	return gen.Nordunet(gen.NordOpts{Services: services, Seed: seed}).Net
+}
+
+// NewWAN generates a Topology-Zoo-style synthetic wide-area network with
+// the given router count.
+func NewWAN(routers int, seed int64) *Network {
+	return gen.Zoo(gen.ZooOpts{Routers: routers, Seed: seed, Protection: true}).Net
+}
+
+// WriteDOT renders the network as Graphviz DOT, highlighting the witness
+// trace and failed links of a result (pass a zero Result for a plain map).
+func WriteDOT(w io.Writer, net *Network, res Result) error {
+	return viz.WriteDOT(w, net, viz.Options{
+		Trace:     res.Trace,
+		Failed:    res.Failed,
+		HideStubs: true,
+	})
+}

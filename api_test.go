@@ -1,0 +1,107 @@
+package aalwines_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aalwines"
+)
+
+// TestPublicAPIQuickstart is the README's quickstart as a contract test.
+func TestPublicAPIQuickstart(t *testing.T) {
+	net := aalwines.RunningExample()
+	res, err := aalwines.VerifyText(net, "<ip> [.#v0] .* [v3#.] <ip> 0", aalwines.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != aalwines.Satisfied {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if len(res.Trace) != 4 {
+		t.Fatalf("trace = %s", res.Trace.Format(net))
+	}
+}
+
+func TestPublicAPIWeighted(t *testing.T) {
+	net := aalwines.RunningExample()
+	spec, err := aalwines.ParseWeight("Hops, Failures + 3*Tunnels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := aalwines.ParseQuery("<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := aalwines.Verify(net, q, aalwines.Options{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != aalwines.Satisfied || res.Weight[0] != 5 || res.Weight[1] != 0 {
+		t.Fatalf("res = %v %v", res.Verdict, res.Weight)
+	}
+}
+
+func TestPublicAPIXMLRoundTrip(t *testing.T) {
+	net := aalwines.NewWAN(16, 3)
+	var topo, route bytes.Buffer
+	if err := aalwines.WriteXML(&topo, &route, net); err != nil {
+		t.Fatal(err)
+	}
+	again, err := aalwines.ReadXML(&topo, &route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Routing.NumRules() != net.Routing.NumRules() {
+		t.Fatal("round trip lost rules")
+	}
+}
+
+func TestPublicAPIGMLAndSynthesis(t *testing.T) {
+	doc := `graph [
+	  node [ id 0 label "A" ]
+	  node [ id 1 label "B" ]
+	  node [ id 2 label "C" ]
+	  edge [ source 0 target 1 ]
+	  edge [ source 1 target 2 ]
+	  edge [ source 0 target 2 ]
+	]`
+	net, err := aalwines.ReadGML(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aalwines.SynthesizeDataplane(net, 3, 1)
+	if net.Routing.NumRules() == 0 {
+		t.Fatal("no dataplane synthesised")
+	}
+	res, err := aalwines.VerifyText(net, "<ip> [.#A] .* [.#B] <ip> 1", aalwines.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != aalwines.Satisfied {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestPublicAPIOperatorNetworkAndDOT(t *testing.T) {
+	net := aalwines.NewOperatorNetwork(1, 1)
+	if net.Topo.NumRouters() < 31 {
+		t.Fatalf("routers = %d", net.Topo.NumRouters())
+	}
+	res, err := aalwines.VerifyText(net, "<smpls? ip> .* <. smpls ip> 0", aalwines.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dot bytes.Buffer
+	if err := aalwines.WriteDOT(&dot, net, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dot.String(), "digraph") {
+		t.Fatal("not DOT output")
+	}
+	// Locations and geo distance work on the operator network.
+	df := aalwines.GeoDistance(net)
+	if df(0) == 0 {
+		t.Fatal("zero distance")
+	}
+}

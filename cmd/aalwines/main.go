@@ -1,0 +1,141 @@
+// Command aalwines is the command-line verifier: it loads an MPLS network
+// (from the vendor-agnostic XML format, an IS-IS snapshot or one of the
+// built-in generators), parses a reachability query and reports whether the
+// query is satisfied, together with a (minimum) witness trace.
+//
+// Examples:
+//
+//	aalwines -net running-example -query '<ip> [.#v0] .* [v3#.] <ip> 0'
+//	aalwines -net nordunet -services 4 \
+//	    -query '<smpls ip> [.#sto1] .* [.#lon1] <smpls ip> 1' \
+//	    -weight 'Hops, Failures + 3*Tunnels' -json
+//	aalwines -topo topo.xml -routing route.xml -query '...' -engine moped
+//	aalwines -net zoo -routers 84 -write-topology topo.xml -write-routing route.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aalwines/internal/cli"
+	"aalwines/internal/engine"
+	"aalwines/internal/loc"
+	"aalwines/internal/moped"
+	"aalwines/internal/viz"
+	"aalwines/internal/weight"
+	"aalwines/internal/xmlio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aalwines:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var nf cli.NetFlags
+	flag.StringVar(&nf.Topo, "topo", "", "topology XML file")
+	flag.StringVar(&nf.Route, "routing", "", "routing XML file")
+	flag.StringVar(&nf.ISIS, "isis", "", "IS-IS snapshot mapping file")
+	flag.StringVar(&nf.GML, "gml", "", "Topology Zoo GML file (dataplane synthesised on it)")
+	flag.StringVar(&nf.Builtin, "net", "", "builtin network: running-example (default), nordunet, zoo")
+	flag.StringVar(&nf.Locations, "locations", "", "router locations JSON (Appendix A.2)")
+	flag.IntVar(&nf.Routers, "routers", 0, "router count for -net zoo")
+	flag.Int64Var(&nf.Seed, "seed", 1, "generator seed")
+	flag.IntVar(&nf.Services, "services", 0, "service chains per pair for -net nordunet")
+	flag.IntVar(&nf.Edge, "edge", 0, "edge router count for generated networks")
+
+	queryText := flag.String("query", "", "reachability query <a> b <c> k")
+	engineName := flag.String("engine", "dual", "saturation backend: dual or moped")
+	weightSpec := flag.String("weight", "", "minimisation vector, e.g. 'Hops, Failures + 3*Tunnels'")
+	useDistance := flag.Bool("geo-distance", false, "use great-circle distances for the Distance quantity")
+	noReductions := flag.Bool("no-reductions", false, "disable the pre-saturation reduction pass")
+	budget := flag.Int64("budget", 0, "work budget per saturation (0 = unlimited)")
+	asJSON := flag.Bool("json", false, "JSON output")
+	writeTopo := flag.String("write-topology", "", "write the topology XML and exit")
+	writeRoute := flag.String("write-routing", "", "write the routing XML and exit")
+	writeLoc := flag.String("write-locations", "", "write the locations JSON and exit")
+	dotOut := flag.String("dot", "", "write a Graphviz rendering of the network (and witness, if any)")
+	flag.Parse()
+
+	net, err := cli.Load(nf)
+	if err != nil {
+		return err
+	}
+
+	wrote := false
+	if *writeTopo != "" {
+		if err := writeFile(*writeTopo, func(f *os.File) error { return xmlio.WriteTopology(f, net) }); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if *writeRoute != "" {
+		if err := writeFile(*writeRoute, func(f *os.File) error { return xmlio.WriteRouting(f, net) }); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if *writeLoc != "" {
+		if err := writeFile(*writeLoc, func(f *os.File) error { return loc.Write(f, net) }); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if *queryText == "" {
+		if wrote {
+			return nil
+		}
+		return fmt.Errorf("no -query given (and nothing to write)")
+	}
+
+	opts := engine.Options{NoReductions: *noReductions, Budget: *budget}
+	if *weightSpec != "" {
+		spec, err := weight.ParseSpec(*weightSpec)
+		if err != nil {
+			return err
+		}
+		opts.Spec = spec
+	}
+	if *useDistance {
+		opts.Dist = loc.DistanceFunc(net)
+	}
+	switch *engineName {
+	case "dual":
+	case "moped":
+		if opts.Spec != nil {
+			return fmt.Errorf("the moped backend does not support -weight")
+		}
+		opts.Saturate = moped.Poststar
+	default:
+		return fmt.Errorf("unknown engine %q", *engineName)
+	}
+
+	res, err := engine.VerifyText(net, *queryText, opts)
+	if err != nil {
+		return err
+	}
+	if *dotOut != "" {
+		err := writeFile(*dotOut, func(f *os.File) error {
+			return viz.WriteDOT(f, net, viz.Options{Trace: res.Trace, Failed: res.Failed, HideStubs: true})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return cli.PrintResult(os.Stdout, net, *queryText, res, *asJSON)
+}
+
+func writeFile(path string, f func(*os.File) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

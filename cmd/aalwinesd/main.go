@@ -1,0 +1,100 @@
+// Command aalwinesd serves the verification engine over HTTP — the role of
+// the web backend behind the AalWiNes GUI. It loads one or more networks at
+// startup and then answers topology and verification requests concurrently.
+//
+//	aalwinesd -listen :8080 -net running-example
+//	aalwinesd -listen :8080 -net nordunet -services 4 \
+//	          -topo extra-topo.xml -routing extra-route.xml
+//
+// Endpoints: GET /api/networks, GET /api/networks/{name}/topology,
+// POST /api/verify, GET /healthz. See internal/httpapi for the schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"aalwines/internal/cli"
+	"aalwines/internal/httpapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aalwinesd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var nf cli.NetFlags
+	flag.StringVar(&nf.Topo, "topo", "", "additional network: topology XML")
+	flag.StringVar(&nf.Route, "routing", "", "additional network: routing XML")
+	flag.StringVar(&nf.Builtin, "net", "running-example", "builtin network to serve")
+	flag.StringVar(&nf.Locations, "locations", "", "router locations JSON")
+	flag.IntVar(&nf.Routers, "routers", 0, "router count for -net zoo")
+	flag.Int64Var(&nf.Seed, "seed", 1, "generator seed")
+	flag.IntVar(&nf.Services, "services", 0, "service chains per pair for -net nordunet")
+	flag.IntVar(&nf.Edge, "edge", 0, "edge router count")
+	listen := flag.String("listen", ":8080", "listen address")
+	budget := flag.Int64("max-budget", 200_000_000, "per-request saturation budget (0 = unlimited)")
+	flag.Parse()
+
+	srv := httpapi.NewServer()
+	srv.MaxBudget = *budget
+
+	// The builtin network always loads; XML files add a second network.
+	builtinOnly := nf
+	builtinOnly.Topo, builtinOnly.Route = "", ""
+	net, err := cli.Load(builtinOnly)
+	if err != nil {
+		return err
+	}
+	srv.Register(net)
+	log.Printf("registered network %q (%d routers, %d rules)",
+		net.Name, net.Topo.NumRouters(), net.Routing.NumRules())
+	if nf.Topo != "" {
+		xmlNet, err := cli.Load(cli.NetFlags{Topo: nf.Topo, Route: nf.Route, Locations: nf.Locations})
+		if err != nil {
+			return err
+		}
+		srv.Register(xmlNet)
+		log.Printf("registered network %q (%d routers, %d rules)",
+			xmlNet.Name, xmlNet.Topo.NumRouters(), xmlNet.Routing.NumRules())
+	}
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      10 * time.Minute, // verification can be slow
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *listen)
+		errCh <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	}
+}

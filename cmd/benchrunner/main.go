@@ -1,0 +1,118 @@
+// Command benchrunner regenerates the paper's evaluation artefacts:
+//
+//	benchrunner -table1                 # Table 1 rows (3 engines × 6 queries)
+//	benchrunner -figure4                # Figure 4 cactus series + summary
+//	benchrunner -ablation               # reduction / dual-vs-over ablations
+//
+// Scale knobs (-services, -networks, -queries, -budget) trade fidelity for
+// runtime; EXPERIMENTS.md records the configurations used for the shipped
+// results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/experiments"
+	"aalwines/internal/gen"
+	"aalwines/internal/weight"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "run the Table 1 experiment")
+	figure4 := flag.Bool("figure4", false, "run the Figure 4 sweep")
+	ablation := flag.Bool("ablation", false, "run the ablation benches")
+
+	services := flag.Int("services", 4, "NORDUnet service chains per pair (Table 1)")
+	edge := flag.Int("edge", 16, "NORDUnet edge routers (Table 1)")
+	networks := flag.Int("networks", 8, "zoo networks (Figure 4)")
+	perNet := flag.Int("queries", 15, "queries per network (Figure 4)")
+	maxRouters := flag.Int("max-routers", 0, "cap zoo network size (0 = paper's 240)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	budget := flag.Int64("budget", 50_000_000, "saturation work budget (timeout analogue, 0 = unlimited)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for the Figure 4 sweep (1 = sequential, best timing fidelity)")
+	flag.Parse()
+
+	if !*table1 && !*figure4 && !*ablation {
+		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation")
+		os.Exit(2)
+	}
+	if *table1 {
+		fmt.Printf("== Table 1: query verification time (seconds) ==\n")
+		fmt.Printf("   nordunet services=%d edge=%d seed=%d\n\n", *services, *edge, *seed)
+		rows := experiments.Table1(experiments.Table1Config{
+			Services: *services, Edge: *edge, Seed: *seed, Budget: *budget,
+		})
+		experiments.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *figure4 {
+		fmt.Printf("== Figure 4: cactus comparison on Topology-Zoo-style networks ==\n")
+		fmt.Printf("   networks=%d queries/net=%d seed=%d budget=%d\n\n",
+			*networks, *perNet, *seed, *budget)
+		res := experiments.Figure4(experiments.Figure4Config{
+			Networks: *networks, PerNet: *perNet, Seed: *seed,
+			Budget: *budget, MaxRouter: *maxRouters, Parallel: *parallel,
+		})
+		experiments.PrintFigure4(os.Stdout, res)
+		fmt.Println()
+	}
+	if *ablation {
+		runAblation(*seed, *budget)
+	}
+}
+
+// runAblation compares the engine with and without the reduction pass, and
+// the over-approximation-only mode against the full dual pipeline.
+func runAblation(seed, budget int64) {
+	fmt.Printf("== Ablation: reduction pass on/off (dual engine) ==\n")
+	s := gen.Nordunet(gen.NordOpts{Services: 4, EdgeRouters: 16, Seed: seed})
+	spec := weight.Spec{{{Coeff: 1, Q: weight.Failures}}}
+	for _, q := range s.Table1Queries() {
+		t0 := time.Now()
+		a, errA := engine.VerifyText(s.Net, q.Text, engine.Options{Budget: budget})
+		dA := time.Since(t0)
+		t0 = time.Now()
+		b, errB := engine.VerifyText(s.Net, q.Text, engine.Options{Budget: budget, NoReductions: true})
+		dB := time.Since(t0)
+		if errA != nil || errB != nil {
+			fmt.Printf("%-60s error/timeout (%v / %v)\n", truncate(q.Text, 60), errA, errB)
+			continue
+		}
+		fmt.Printf("%-60s reduced=%7.2fs (%6d rules)  full=%7.2fs (%6d rules)  verdict=%s/%s\n",
+			truncate(q.Text, 60),
+			dA.Seconds(), a.Stats.OverRules,
+			dB.Seconds(), b.Stats.OverRules,
+			a.Verdict, b.Verdict)
+	}
+	fmt.Printf("\n== Ablation: weighted quantities (same query, different specs) ==\n")
+	q := s.Table1Queries()[0]
+	specs := map[string]weight.Spec{
+		"unweighted": nil,
+		"failures":   spec,
+		"hops":       {{{Coeff: 1, Q: weight.Hops}}},
+		"distance":   {{{Coeff: 1, Q: weight.Distance}}},
+		"tunnels":    {{{Coeff: 1, Q: weight.Tunnels}}},
+		"combined":   {{{Coeff: 1, Q: weight.Hops}}, {{Coeff: 1, Q: weight.Failures}, {Coeff: 3, Q: weight.Tunnels}}},
+	}
+	for _, name := range []string{"unweighted", "failures", "hops", "distance", "tunnels", "combined"} {
+		t0 := time.Now()
+		res, err := engine.VerifyText(s.Net, q.Text, engine.Options{Spec: specs[name], Budget: budget})
+		d := time.Since(t0)
+		if err != nil {
+			fmt.Printf("%-12s error/timeout: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("%-12s %7.2fs verdict=%s weight=%v\n", name, d.Seconds(), res.Verdict, res.Weight)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,9 @@
+// Package aalwines is a from-scratch Go reproduction of AalWiNes, the fast
+// and quantitative what-if analysis tool for MPLS networks (Jensen et al.,
+// CoNEXT 2020).
+//
+// The repository root holds the benchmark suite (bench_test.go) that
+// regenerates the paper's Table 1 and Figure 4; the implementation lives
+// under internal/ (see DESIGN.md for the system inventory) and the runnable
+// entry points under cmd/ and examples/.
+package aalwines

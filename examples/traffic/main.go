@@ -1,0 +1,90 @@
+// Traffic engineering: quantitative what-if analysis on a Topology-Zoo-
+// style WAN. For a set of ingress/egress pairs the example compares
+//
+//   - the minimum-hop routing a packet can take,
+//   - the minimum-latency routing (great-circle distance of each link), and
+//   - the latency of the worst single-failure detour (minimising
+//     (Failures, Distance) lexicographically with k=1),
+//
+// demonstrating linear-expression weight vectors and the Distance quantity
+// backed by router coordinates (Appendix A.2).
+//
+// Run with: go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/loc"
+	"aalwines/internal/weight"
+)
+
+func main() {
+	s := gen.Zoo(gen.ZooOpts{Routers: 48, Seed: 11, Protection: true})
+	net := s.Net
+	dist := loc.DistanceFunc(net)
+	fmt.Printf("WAN %q: %d routers, %d links, %d rules\n\n",
+		net.Name, net.Topo.NumRouters(), net.Topo.NumLinks(), net.Routing.NumRules())
+
+	hops := weight.Spec{{{Coeff: 1, Q: weight.Hops}}}
+	latency := weight.Spec{{{Coeff: 1, Q: weight.Distance}}}
+	robust, err := weight.ParseSpec("Failures, Distance")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	name := func(i int) string { return net.Topo.Routers[s.Edge[i]].Name }
+	fmt.Printf("%-14s %12s %14s %20s\n", "pair", "min hops", "min latency", "k=1 detour latency")
+	for i := 0; i < 4; i++ {
+		src, dst := name(i), name((i+1)%len(s.Edge))
+		q0 := fmt.Sprintf("<ip> [.#%s] .* [.#%s] <ip> 0", src, dst)
+		q1 := fmt.Sprintf("<ip> [.#%s] .* [.#%s] <ip> 1", src, dst)
+
+		h, err := engine.VerifyText(net, q0, engine.Options{Spec: hops, Dist: dist})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if h.Verdict != engine.Satisfied {
+			fmt.Printf("%-14s unreachable\n", src+"->"+dst)
+			continue
+		}
+		l, err := engine.VerifyText(net, q0, engine.Options{Spec: latency, Dist: dist})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Minimising (Failures, Distance) with k=1 finds the best
+		// no-failure routing; forcing a depth-2 stack (an active bypass
+		// tunnel) instead surfaces the detour's latency.
+		forced := fmt.Sprintf("<ip> [.#%s] .* <mpls smpls ip> 1", src)
+		d, err := engine.VerifyText(net, forced, engine.Options{Spec: robust, Dist: dist})
+		if err != nil {
+			log.Fatal(err)
+		}
+		detour := "n/a (no protected hop on any path)"
+		if d.Verdict == engine.Satisfied {
+			detour = fmt.Sprintf("%d km after %d failure(s)", d.Weight[1], d.Weight[0])
+		}
+		fmt.Printf("%-14s %9d hop %11d km %20s\n",
+			src+"->"+dst, h.Weight[0], l.Weight[0], detour)
+		_ = q1
+	}
+
+	// A policy check with a latency budget: is there any routing between
+	// the first pair longer than twice the optimum? Minimising Distance
+	// while *maximising* is not expressible (weights are minimised), but
+	// the dual question — does the min-latency routing stay under budget
+	// even with one failure — is:
+	src, dst := name(0), name(1)
+	q1 := fmt.Sprintf("<ip> [.#%s] .* [.#%s] <ip> 1", src, dst)
+	r, err := engine.VerifyText(net, q1, engine.Options{Spec: robust, Dist: dist})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r.Verdict == engine.Satisfied {
+		fmt.Printf("\npolicy: %s -> %s reachable with %d failure(s); best such routing costs %d km\n",
+			src, dst, r.Weight[0], r.Weight[1])
+	}
+}

@@ -1,0 +1,3 @@
+module aalwines
+
+go 1.22

@@ -1,0 +1,243 @@
+// Package cli holds the flag plumbing shared by the command-line tools:
+// loading or generating networks, applying location data and rendering
+// verification results.
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/gml"
+	"aalwines/internal/isis"
+	"aalwines/internal/loc"
+	"aalwines/internal/network"
+	"aalwines/internal/xmlio"
+)
+
+// NetFlags describe where a network comes from.
+type NetFlags struct {
+	// Topo and Route are XML file paths (Appendix A format).
+	Topo, Route string
+	// ISIS is a mapping-file path for an IS-IS snapshot import.
+	ISIS string
+	// GML is a Topology Zoo GML file; the MPLS dataplane is synthesised on
+	// it with Edge edge routers (default min(12, routers)).
+	GML string
+	// Builtin selects a generated network: "running-example", "nordunet"
+	// or "zoo".
+	Builtin string
+	// Locations is an optional JSON location file.
+	Locations string
+	// Generator knobs.
+	Routers  int
+	Seed     int64
+	Services int
+	Edge     int
+}
+
+// Load builds the network described by the flags.
+func Load(f NetFlags) (*network.Network, error) {
+	switch {
+	case f.Topo != "" || f.Route != "":
+		if f.Topo == "" || f.Route == "" {
+			return nil, fmt.Errorf("cli: -topo and -routing must be given together")
+		}
+		tf, err := os.Open(f.Topo)
+		if err != nil {
+			return nil, err
+		}
+		defer tf.Close()
+		rf, err := os.Open(f.Route)
+		if err != nil {
+			return nil, err
+		}
+		defer rf.Close()
+		net, err := xmlio.ReadNetwork(tf, rf)
+		if err != nil {
+			return nil, err
+		}
+		return applyLocations(net, f.Locations)
+	case f.GML != "":
+		gf, err := os.Open(f.GML)
+		if err != nil {
+			return nil, err
+		}
+		defer gf.Close()
+		net, err := gml.ReadTopology(gf)
+		if err != nil {
+			return nil, err
+		}
+		edgeCount := f.Edge
+		if edgeCount == 0 {
+			edgeCount = 12
+			if n := net.Topo.NumRouters(); n < edgeCount {
+				edgeCount = n
+			}
+		}
+		edge := gen.PickEdgeRouters(net, edgeCount, f.Seed)
+		gen.Build(net, edge, gen.SynthOpts{Protection: true, Services: f.Services})
+		return applyLocations(net, f.Locations)
+	case f.ISIS != "":
+		dir, base := filepath.Split(f.ISIS)
+		if dir == "" {
+			dir = "."
+		}
+		net, err := isis.Load(os.DirFS(dir), base)
+		if err != nil {
+			return nil, err
+		}
+		return applyLocations(net, f.Locations)
+	default:
+		net, err := builtin(f)
+		if err != nil {
+			return nil, err
+		}
+		return applyLocations(net, f.Locations)
+	}
+}
+
+func builtin(f NetFlags) (*network.Network, error) {
+	switch strings.ToLower(f.Builtin) {
+	case "", "running-example", "example":
+		return gen.RunningExample().Network, nil
+	case "nordunet":
+		return gen.Nordunet(gen.NordOpts{
+			Services: orInt(f.Services, 2), EdgeRouters: f.Edge, Seed: f.Seed,
+		}).Net, nil
+	case "zoo":
+		return gen.Zoo(gen.ZooOpts{
+			Routers: orInt(f.Routers, 84), EdgeRouters: f.Edge,
+			Protection: true, Seed: f.Seed,
+		}).Net, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown builtin network %q", f.Builtin)
+	}
+}
+
+func orInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func applyLocations(net *network.Network, path string) (*network.Network, error) {
+	if path == "" {
+		return net, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := loc.Read(f, net); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// ResultJSON is the machine-readable verification result.
+type ResultJSON struct {
+	Query    string     `json:"query"`
+	Verdict  string     `json:"verdict"`
+	Weight   []uint64   `json:"weight,omitempty"`
+	Failed   []string   `json:"failedLinks,omitempty"`
+	Trace    []StepJSON `json:"trace,omitempty"`
+	TimingMS Timings    `json:"timingMs"`
+	Sizes    Sizes      `json:"sizes"`
+}
+
+// StepJSON is one trace step.
+type StepJSON struct {
+	Link   string   `json:"link"`
+	Header []string `json:"header"`
+}
+
+// Timings carries per-phase durations in milliseconds.
+type Timings struct {
+	Build       float64 `json:"build"`
+	Over        float64 `json:"over"`
+	Under       float64 `json:"under,omitempty"`
+	Reconstruct float64 `json:"reconstruct"`
+}
+
+// Sizes carries system sizes.
+type Sizes struct {
+	OverRules    int  `json:"overRules"`
+	OverRulesPre int  `json:"overRulesBeforeReduction"`
+	UnderRules   int  `json:"underRules,omitempty"`
+	UnderUsed    bool `json:"underUsed"`
+}
+
+// ToJSON converts an engine result.
+func ToJSON(net *network.Network, queryText string, res engine.Result) ResultJSON {
+	out := ResultJSON{
+		Query:   queryText,
+		Verdict: res.Verdict.String(),
+		Weight:  res.Weight,
+		TimingMS: Timings{
+			Build:       ms(res.Stats.BuildTime),
+			Over:        ms(res.Stats.OverTime),
+			Under:       ms(res.Stats.UnderTime),
+			Reconstruct: ms(res.Stats.ReconstructTime),
+		},
+		Sizes: Sizes{
+			OverRules:    res.Stats.OverRules,
+			OverRulesPre: res.Stats.OverRulesPre,
+			UnderRules:   res.Stats.UnderRules,
+			UnderUsed:    res.Stats.UnderUsed,
+		},
+	}
+	for _, l := range res.Failed.Sorted() {
+		out.Failed = append(out.Failed, net.Topo.LinkName(l))
+	}
+	for _, s := range res.Trace {
+		step := StepJSON{Link: net.Topo.LinkName(s.Link)}
+		for _, id := range s.Header {
+			step.Header = append(step.Header, net.Labels.Name(id))
+		}
+		out.Trace = append(out.Trace, step)
+	}
+	return out
+}
+
+func ms(d interface{ Seconds() float64 }) float64 {
+	return d.Seconds() * 1000
+}
+
+// PrintResult renders a result either as JSON or human-readable text.
+func PrintResult(w io.Writer, net *network.Network, queryText string, res engine.Result, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ToJSON(net, queryText, res))
+	}
+	fmt.Fprintf(w, "query:   %s\n", queryText)
+	fmt.Fprintf(w, "verdict: %s\n", res.Verdict)
+	if res.Weight != nil {
+		fmt.Fprintf(w, "weight:  %s\n", res.Weight)
+	}
+	if res.Verdict == engine.Satisfied {
+		fmt.Fprintf(w, "witness: %s\n", res.Trace.Format(net))
+		if len(res.Failed) > 0 {
+			names := make([]string, 0, len(res.Failed))
+			for _, l := range res.Failed.Sorted() {
+				names = append(names, net.Topo.LinkName(l))
+			}
+			fmt.Fprintf(w, "failed:  %s\n", strings.Join(names, ", "))
+		} else {
+			fmt.Fprintf(w, "failed:  (none required)\n")
+		}
+	}
+	fmt.Fprintf(w, "timing:  build=%.1fms over=%.1fms under=%.1fms\n",
+		ms(res.Stats.BuildTime), ms(res.Stats.OverTime), ms(res.Stats.UnderTime))
+	fmt.Fprintf(w, "size:    rules=%d (pre-reduction %d), under-used=%v\n",
+		res.Stats.OverRules, res.Stats.OverRulesPre, res.Stats.UnderUsed)
+	return nil
+}

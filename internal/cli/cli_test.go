@@ -1,0 +1,112 @@
+package cli_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aalwines/internal/cli"
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/loc"
+	"aalwines/internal/xmlio"
+)
+
+func TestLoadBuiltins(t *testing.T) {
+	cases := []cli.NetFlags{
+		{},
+		{Builtin: "running-example"},
+		{Builtin: "zoo", Routers: 16, Seed: 3},
+		{Builtin: "nordunet", Services: 1, Edge: 6, Seed: 2},
+	}
+	for _, f := range cases {
+		net, err := cli.Load(f)
+		if err != nil {
+			t.Fatalf("%+v: %v", f, err)
+		}
+		if net.Topo.NumRouters() == 0 || net.Routing.NumRules() == 0 {
+			t.Fatalf("%+v: empty network", f)
+		}
+	}
+	if _, err := cli.Load(cli.NetFlags{Builtin: "nope"}); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+	if _, err := cli.Load(cli.NetFlags{Topo: "only-topo.xml"}); err == nil {
+		t.Fatal("topo without routing accepted")
+	}
+}
+
+func TestLoadFromXMLFiles(t *testing.T) {
+	dir := t.TempDir()
+	re := gen.RunningExample()
+	topoPath := filepath.Join(dir, "topo.xml")
+	routePath := filepath.Join(dir, "route.xml")
+	locPath := filepath.Join(dir, "loc.json")
+	tf, err := os.Create(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmlio.WriteTopology(tf, re.Network); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+	rf, err := os.Create(routePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmlio.WriteRouting(rf, re.Network); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	if err := os.WriteFile(locPath, []byte(`{"v0":{"lat":55.6,"lng":12.5}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	net, err := cli.Load(cli.NetFlags{Topo: topoPath, Route: routePath, Locations: locPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Routing.NumRules() != re.Routing.NumRules() {
+		t.Fatalf("rules = %d, want %d", net.Routing.NumRules(), re.Routing.NumRules())
+	}
+	v0 := net.Topo.RouterByName("v0")
+	if !net.Topo.Routers[v0].HasLoc {
+		t.Fatal("locations not applied")
+	}
+	_ = loc.DistanceFunc(net)
+}
+
+func TestPrintResultTextAndJSON(t *testing.T) {
+	re := gen.RunningExample()
+	q := "<ip> [.#v0] .* [v3#.] <ip> 0"
+	res, err := engine.VerifyText(re.Network, q, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := cli.PrintResult(&txt, re.Network, q, res, false); err != nil {
+		t.Fatal(err)
+	}
+	out := txt.String()
+	for _, want := range []string{"verdict: satisfied", "witness:", "timing:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	var js bytes.Buffer
+	if err := cli.PrintResult(&js, re.Network, q, res, true); err != nil {
+		t.Fatal(err)
+	}
+	var decoded cli.ResultJSON
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Verdict != "satisfied" || len(decoded.Trace) == 0 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Trace[0].Link == "" || len(decoded.Trace[0].Header) == 0 {
+		t.Fatal("trace steps not rendered")
+	}
+}

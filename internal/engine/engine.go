@@ -1,0 +1,225 @@
+// Package engine implements the AalWiNes verification pipeline of §4.2:
+// build the over-approximating pushdown system, saturate it, and if the
+// query is satisfied attempt to reconstruct and validate a witness trace;
+// fall back to the under-approximating system (global failure counter) when
+// the over-approximation's witness is infeasible; report Inconclusive only
+// when both directions fail to decide. The weighted engine threads a
+// minimisation vector through the same pipeline (Problem 2, the minimum
+// witness problem) and returns a minimal witness trace.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aalwines/internal/network"
+	"aalwines/internal/pds"
+	"aalwines/internal/query"
+	"aalwines/internal/translate"
+	"aalwines/internal/weight"
+)
+
+// Verdict is the outcome of a verification run.
+type Verdict uint8
+
+const (
+	// Unsatisfied: no witness trace exists (conclusive, via the
+	// over-approximation).
+	Unsatisfied Verdict = iota
+	// Satisfied: a concrete witness trace was produced and validated.
+	Satisfied
+	// Inconclusive: the over-approximation is satisfiable but no feasible
+	// witness could be produced; a more expensive analysis would be needed.
+	Inconclusive
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Unsatisfied:
+		return "unsatisfied"
+	case Satisfied:
+		return "satisfied"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Saturator abstracts the post* implementation so the Moped-style baseline
+// can plug in. Implementations must behave like pds.PoststarBudget.
+type Saturator func(p *pds.PDS, init *pds.Auto, dim int, budget int64) (*pds.Result, error)
+
+// Options configure a verification run.
+type Options struct {
+	// Spec enables the weighted engine with the given minimisation vector.
+	Spec weight.Spec
+	// Dist overrides the link distance function for the Distance quantity.
+	Dist weight.DistanceFunc
+	// NoReductions disables the pre-saturation reduction pass (ablation).
+	NoReductions bool
+	// OverOnly disables the under-approximation fallback: runs that would
+	// consult it return Inconclusive directly (ablation for the "Dual"
+	// design; P-Rex-style single-sided analysis).
+	OverOnly bool
+	// Budget bounds the saturation work per direction (0 = unlimited); an
+	// exhausted budget yields ErrBudget, the analogue of the paper's
+	// 10-minute timeout.
+	Budget int64
+	// Saturate overrides the saturation backend (nil = pds.PoststarBudget).
+	Saturate Saturator
+}
+
+// Stats reports sizes and timings of a run.
+type Stats struct {
+	OverRules       int
+	OverRulesPre    int // before reduction
+	UnderRules      int
+	UnderUsed       bool
+	TransOver       int // saturated automaton transitions (over direction)
+	TransUnder      int
+	BuildTime       time.Duration
+	OverTime        time.Duration
+	UnderTime       time.Duration
+	ReconstructTime time.Duration
+}
+
+// Result is the outcome of Verify.
+type Result struct {
+	Verdict Verdict
+	// Trace is a witness trace when Satisfied.
+	Trace network.Trace
+	// Failed is a minimum failed-link set enabling the trace.
+	Failed network.FailedSet
+	// Weight is the witness weight under the spec (nil when unweighted).
+	Weight weight.Vec
+	Stats  Stats
+}
+
+// ErrBudget is surfaced when the work budget is exhausted; callers treat it
+// as a timeout.
+var ErrBudget = pds.ErrBudget
+
+// Verify runs the full pipeline for a query on a network.
+func Verify(net *network.Network, q *query.Query, opts Options) (Result, error) {
+	sat := opts.Saturate
+	if sat == nil {
+		sat = pds.PoststarBudget
+	}
+	var res Result
+
+	// Over-approximation.
+	t0 := time.Now()
+	over := translate.Build(net, q, translate.Options{
+		Mode:         translate.Over,
+		Spec:         opts.Spec,
+		Dist:         opts.Dist,
+		NoReductions: opts.NoReductions,
+	})
+	res.Stats.BuildTime = time.Since(t0)
+	res.Stats.OverRules = len(over.PDS.Rules)
+	res.Stats.OverRulesPre = over.RulesBeforeReduction
+
+	t1 := time.Now()
+	overRes, err := sat(over.PDS, over.InitAuto(), over.Dim, opts.Budget)
+	res.Stats.OverTime = time.Since(t1)
+	if err != nil {
+		return res, fmt.Errorf("engine: over-approximation: %w", err)
+	}
+	res.Stats.TransOver = overRes.Auto.NumTrans()
+
+	acc, found := overRes.FindAccepting(over.FinalStates, over.FinalSpec)
+	if !found {
+		res.Verdict = Unsatisfied
+		return res, nil
+	}
+
+	// Trace reconstruction and feasibility validation.
+	t2 := time.Now()
+	tr, err := decode(over, overRes, acc)
+	res.Stats.ReconstructTime = time.Since(t2)
+	if err == nil {
+		if feas := net.Feasible(tr, q.MaxFailures); feas.Feasible {
+			res.Verdict = Satisfied
+			res.Trace = tr
+			res.Failed = feas.Failed
+			res.Weight = traceWeight(net, tr, opts)
+			return res, nil
+		}
+	} else if !errors.Is(err, errDecode) {
+		return res, err
+	}
+
+	if opts.OverOnly {
+		res.Verdict = Inconclusive
+		return res, nil
+	}
+
+	// Under-approximation with a global failure budget.
+	res.Stats.UnderUsed = true
+	under := translate.Build(net, q, translate.Options{
+		Mode:         translate.Under,
+		Spec:         opts.Spec,
+		Dist:         opts.Dist,
+		NoReductions: opts.NoReductions,
+	})
+	res.Stats.UnderRules = len(under.PDS.Rules)
+	t3 := time.Now()
+	underRes, err := sat(under.PDS, under.InitAuto(), under.Dim, opts.Budget)
+	res.Stats.UnderTime = time.Since(t3)
+	if err != nil {
+		return res, fmt.Errorf("engine: under-approximation: %w", err)
+	}
+	res.Stats.TransUnder = underRes.Auto.NumTrans()
+
+	acc2, found2 := underRes.FindAccepting(under.FinalStates, under.FinalSpec)
+	if !found2 {
+		res.Verdict = Inconclusive
+		return res, nil
+	}
+	tr2, err := decode(under, underRes, acc2)
+	if err != nil {
+		res.Verdict = Inconclusive
+		return res, nil //nolint:nilerr // inconclusive is the contract here
+	}
+	if feas := net.Feasible(tr2, q.MaxFailures); feas.Feasible {
+		res.Verdict = Satisfied
+		res.Trace = tr2
+		res.Failed = feas.Failed
+		res.Weight = traceWeight(net, tr2, opts)
+		return res, nil
+	}
+	res.Verdict = Inconclusive
+	return res, nil
+}
+
+var errDecode = errors.New("engine: witness decoding failed")
+
+func decode(sys *translate.System, r *pds.Result, acc pds.Accepted) (network.Trace, error) {
+	init, rules, err := r.Reconstruct(acc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errDecode, err)
+	}
+	tr, err := sys.DecodeTrace(init, rules)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errDecode, err)
+	}
+	return tr, nil
+}
+
+func traceWeight(net *network.Network, tr network.Trace, opts Options) weight.Vec {
+	if opts.Spec == nil {
+		return nil
+	}
+	return opts.Spec.Eval(weight.EvalTrace(net, tr, opts.Dist))
+}
+
+// VerifyText parses and verifies a textual query; a convenience wrapper
+// used by the CLI and examples.
+func VerifyText(net *network.Network, queryText string, opts Options) (Result, error) {
+	q, err := query.Parse(queryText, net)
+	if err != nil {
+		return Result{}, err
+	}
+	return Verify(net, q, opts)
+}

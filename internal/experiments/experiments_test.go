@@ -1,0 +1,102 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aalwines/internal/experiments"
+	"aalwines/internal/gen"
+)
+
+func TestTable1SmallRun(t *testing.T) {
+	rows := experiments.Table1(experiments.Table1Config{
+		Services: 1, Edge: 8, Seed: 1, Budget: 200_000_000,
+	})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i, r := range rows {
+		// Engines must agree on the verdict for each query.
+		for k := experiments.EngineKind(1); k < experiments.NumEngines; k++ {
+			if !r.Out[0] && !r.Out[k] && r.Verd[0] != r.Verd[k] {
+				t.Errorf("row %d: %s=%v, %s=%v", i,
+					experiments.EngineKind(0), r.Verd[0], k, r.Verd[k])
+			}
+		}
+		for k := experiments.EngineKind(0); k < experiments.NumEngines; k++ {
+			if !r.Out[k] && r.Times[k] <= 0 {
+				t.Errorf("row %d engine %s: non-positive time", i, k)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	experiments.PrintTable1(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "Moped") || !strings.Contains(out, "Failures") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 7 {
+		t.Errorf("table has %d lines, want header + 6 rows", got)
+	}
+}
+
+func TestFigure4SmallRun(t *testing.T) {
+	res := experiments.Figure4(experiments.Figure4Config{
+		Networks: 2, PerNet: 6, Seed: 5, Budget: 200_000_000, MaxRouter: 30,
+	})
+	if res.Total != 12 {
+		t.Fatalf("total = %d, want 12", res.Total)
+	}
+	for k := experiments.EngineKind(0); k < experiments.NumEngines; k++ {
+		if res.Solved[k] == 0 {
+			t.Errorf("engine %s solved nothing", k)
+		}
+		// Series must be sorted.
+		for i := 1; i < len(res.Series[k]); i++ {
+			if res.Series[k][i] < res.Series[k][i-1] {
+				t.Errorf("engine %s series not sorted", k)
+			}
+		}
+	}
+	// Engines see identical instances, so satisfiable counts agree.
+	if res.Satisfied[experiments.Moped] != res.Satisfied[experiments.Dual] {
+		t.Errorf("satisfied: moped=%d dual=%d",
+			res.Satisfied[experiments.Moped], res.Satisfied[experiments.Dual])
+	}
+	var buf bytes.Buffer
+	experiments.PrintFigure4(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "rank,moped,dual,failures") {
+		t.Fatalf("figure output:\n%s", out)
+	}
+	if !strings.Contains(out, "inconclusive") {
+		t.Error("summary block missing")
+	}
+}
+
+func TestBudgetCausesTimeouts(t *testing.T) {
+	s := gen.Nordunet(gen.NordOpts{Services: 1, EdgeRouters: 8, Seed: 1})
+	q := s.Table1Queries()[0]
+	m := experiments.RunOne(s, q, experiments.Dual, 1)
+	if !m.TimedOut {
+		t.Fatalf("budget=1 did not time out: %+v", m)
+	}
+	if m.Err != nil {
+		t.Fatalf("timeout should not be an error: %v", m.Err)
+	}
+}
+
+func TestEngineKindStrings(t *testing.T) {
+	if experiments.Moped.String() != "Moped" ||
+		experiments.Dual.String() != "Dual" ||
+		experiments.Failures.String() != "Failures" {
+		t.Fatal("engine names wrong")
+	}
+	if experiments.Failures.Options(0).Spec == nil {
+		t.Fatal("Failures engine has no spec")
+	}
+	if experiments.Moped.Options(0).Saturate == nil {
+		t.Fatal("Moped engine has no custom saturator")
+	}
+}

@@ -1,0 +1,133 @@
+// Package gen constructs MPLS networks for examples, tests and benchmarks:
+// the paper's running example (Figure 1), a NORDUnet-style operator network
+// and an Internet-Topology-Zoo-style family of synthetic wide-area
+// networks with label-switched paths and fast-failover protection, plus the
+// query workloads used in the performance evaluation (§5).
+//
+// The operator snapshot and the Topology Zoo dataset are not available in
+// this reproduction; DESIGN.md §3 documents how these generators substitute
+// for them.
+package gen
+
+import (
+	"aalwines/internal/labels"
+	"aalwines/internal/network"
+	"aalwines/internal/routing"
+	"aalwines/internal/topology"
+)
+
+// RunningExampleNet bundles the Figure 1 network with handles to its
+// routers, links and labels so tests and examples can refer to them by the
+// paper's names (v0..v4, e0..e7, s20, ip1, ...).
+type RunningExampleNet struct {
+	*network.Network
+	Routers map[string]topology.RouterID
+	Links   map[string]topology.LinkID
+	L       map[string]labels.ID
+}
+
+// RunningExample builds the five-router network of Figure 1 with the exact
+// routing table of Figure 1b, including the priority-2 protection of link
+// e4 at router v2.
+func RunningExample() *RunningExampleNet {
+	n := network.New("running-example")
+	r := map[string]topology.RouterID{}
+	for _, name := range []string{"vsrc", "v0", "v1", "v2", "v3", "v4", "vdst"} {
+		r[name] = n.Topo.AddRouter(name)
+	}
+	// Figure 1a: e0 enters v0 from outside; e7 leaves v3 to the outside.
+	// We model the outside by explicit edge routers vsrc and vdst.
+	add := func(name string, from, to string) topology.LinkID {
+		return n.Topo.MustAddLink(r[from], r[to], "o"+name, "i"+name, 1)
+	}
+	l := map[string]topology.LinkID{
+		"e0": add("e0", "vsrc", "v0"),
+		"e1": add("e1", "v0", "v2"),
+		"e2": add("e2", "v0", "v1"),
+		"e3": add("e3", "v1", "v3"),
+		"e4": add("e4", "v2", "v3"),
+		"e5": add("e5", "v2", "v4"),
+		"e6": add("e6", "v4", "v3"),
+		"e7": add("e7", "v3", "vdst"),
+	}
+	lb := map[string]labels.ID{}
+	for _, name := range []string{"30"} {
+		lb[name] = n.Labels.MustIntern(name, labels.MPLS)
+	}
+	for _, name := range []string{"s10", "s11", "s20", "s21", "s40", "s41", "s42", "s43", "s44"} {
+		lb[name] = n.Labels.MustIntern(name, labels.BottomMPLS)
+	}
+	lb["ip1"] = n.Labels.MustIntern("ip1", labels.IP)
+
+	rt := n.Routing
+	e := func(out string, ops ...routing.Op) routing.Entry {
+		return routing.Entry{Out: l[out], Ops: ops}
+	}
+	// Figure 1b, row by row.
+	rt.MustAdd(l["e0"], lb["ip1"], 1, e("e1", routing.Push(lb["s20"])))
+	rt.MustAdd(l["e0"], lb["ip1"], 1, e("e2", routing.Push(lb["s10"])))
+	rt.MustAdd(l["e0"], lb["s40"], 1, e("e1", routing.Swap(lb["s41"])))
+	rt.MustAdd(l["e2"], lb["s10"], 1, e("e3", routing.Swap(lb["s11"])))
+	rt.MustAdd(l["e1"], lb["s20"], 1, e("e4", routing.Swap(lb["s21"])))
+	rt.MustAdd(l["e1"], lb["s41"], 1, e("e5", routing.Swap(lb["s42"])))
+	rt.MustAdd(l["e1"], lb["s20"], 2, e("e5", routing.Swap(lb["s21"]), routing.Push(lb["30"])))
+	rt.MustAdd(l["e3"], lb["s11"], 1, e("e7", routing.Pop()))
+	rt.MustAdd(l["e4"], lb["s21"], 1, e("e7", routing.Pop()))
+	rt.MustAdd(l["e6"], lb["s43"], 1, e("e7", routing.Swap(lb["s44"])))
+	rt.MustAdd(l["e6"], lb["s21"], 1, e("e7", routing.Pop()))
+	rt.MustAdd(l["e5"], lb["30"], 1, e("e6", routing.Pop()))
+	rt.MustAdd(l["e5"], lb["s42"], 1, e("e6", routing.Swap(lb["s43"])))
+
+	return &RunningExampleNet{Network: n, Routers: r, Links: l, L: lb}
+}
+
+// Trace builds a network.Trace from alternating link names and headers
+// given as label-name slices, e.g. Trace("e0", []string{"ip1"}, "e1",
+// []string{"s20","ip1"}).
+func (re *RunningExampleNet) Trace(pairs ...interface{}) network.Trace {
+	var tr network.Trace
+	for i := 0; i < len(pairs); i += 2 {
+		link := re.Links[pairs[i].(string)]
+		names := pairs[i+1].([]string)
+		h := make(labels.Header, len(names))
+		for j, nm := range names {
+			h[j] = re.L[nm]
+		}
+		tr = append(tr, network.Step{Link: link, Header: h})
+	}
+	return tr
+}
+
+// Sigma returns the paper's example traces σ0..σ3 from Figure 1c.
+func (re *RunningExampleNet) Sigma(i int) network.Trace {
+	switch i {
+	case 0:
+		return re.Trace(
+			"e0", []string{"ip1"},
+			"e1", []string{"s20", "ip1"},
+			"e4", []string{"s21", "ip1"},
+			"e7", []string{"ip1"})
+	case 1:
+		return re.Trace(
+			"e0", []string{"ip1"},
+			"e2", []string{"s10", "ip1"},
+			"e3", []string{"s11", "ip1"},
+			"e7", []string{"ip1"})
+	case 2:
+		return re.Trace(
+			"e0", []string{"ip1"},
+			"e1", []string{"s20", "ip1"},
+			"e5", []string{"30", "s21", "ip1"},
+			"e6", []string{"s21", "ip1"},
+			"e7", []string{"ip1"})
+	case 3:
+		return re.Trace(
+			"e0", []string{"s40", "ip1"},
+			"e1", []string{"s41", "ip1"},
+			"e5", []string{"s42", "ip1"},
+			"e6", []string{"s43", "ip1"},
+			"e7", []string{"s44", "ip1"})
+	default:
+		panic("gen: no such sigma")
+	}
+}

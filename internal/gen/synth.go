@@ -1,0 +1,405 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"aalwines/internal/labels"
+	"aalwines/internal/network"
+	"aalwines/internal/routing"
+	"aalwines/internal/topology"
+)
+
+// SynthOpts controls the MPLS dataplane synthesis used for the evaluation
+// networks (§5): label-switched paths between every pair of edge routers
+// along shortest paths, optional RSVP-style fast-reroute bypass tunnels
+// (priority-2 groups that push a protection label around the protected
+// link, with penultimate-hop popping), and optional NORDUnet-style service
+// label chains.
+type SynthOpts struct {
+	// Protection adds a priority-2 fast-reroute entry for every protected
+	// hop that has a bypass path.
+	Protection bool
+	// Services is the number of service-label chains synthesised per edge
+	// router pair (0 for the Topology Zoo networks; large for the
+	// NORDUnet-style network whose >250k rules are dominated by service
+	// labels).
+	Services int
+}
+
+// Synth is the result of dataplane synthesis: the network plus bookkeeping
+// handles used by query generators.
+type Synth struct {
+	Net *network.Network
+	// Edge lists the edge (provider-edge) routers, i.e. those with
+	// external stub links.
+	Edge []topology.RouterID
+	// ExtIn / ExtOut map an edge router to its external ingress/egress
+	// link.
+	ExtIn  map[topology.RouterID]topology.LinkID
+	ExtOut map[topology.RouterID]topology.LinkID
+	// IPLabel maps an edge router to the IP destination label routed to it.
+	IPLabel map[topology.RouterID]labels.ID
+	// ServiceIn records the synthesised service chains (used to build
+	// Table 1 style queries).
+	ServiceIn []Service
+}
+
+// Service describes one synthesised service-label chain.
+type Service struct {
+	Src, Dst topology.RouterID
+	// In is the ingress service label (arrives on top of the IP label).
+	In labels.ID
+}
+
+// synthesize builds the MPLS dataplane on top of an existing core topology.
+// Edge routers receive external stub routers ("X-<name>") with one ingress
+// and one egress link each.
+func synthesize(net *network.Network, edge []topology.RouterID, opts SynthOpts) *Synth {
+	s := &Synth{
+		Net:     net,
+		Edge:    edge,
+		ExtIn:   map[topology.RouterID]topology.LinkID{},
+		ExtOut:  map[topology.RouterID]topology.LinkID{},
+		IPLabel: map[topology.RouterID]labels.ID{},
+	}
+	g := net.Topo
+	for _, r := range edge {
+		name := g.Routers[r].Name
+		stub := g.AddRouter("X-" + name)
+		s.ExtIn[r] = g.MustAddLink(stub, r, "xo", "xi", 1)
+		s.ExtOut[r] = g.MustAddLink(r, stub, "xe", "xr", 1)
+		s.IPLabel[r] = net.Labels.MustIntern("ip_"+name, labels.IP)
+	}
+
+	// Shortest path trees from every edge router over the core (stubs are
+	// reachable only via their edge router, so paths between cores never
+	// detour through them: stubs have out-degree 1 back to their router).
+	trees := map[topology.RouterID]*topology.PathTree{}
+	for _, r := range edge {
+		trees[r] = g.ShortestPathsFrom(r)
+	}
+
+	// Per-link bypass tunnels, built on demand and shared by every LSP
+	// protecting that link.
+	bypass := map[topology.LinkID]*bypassTunnel{}
+
+	for _, src := range edge {
+		for _, dst := range edge {
+			if src == dst {
+				continue
+			}
+			path := trees[src].To(dst)
+			if path == nil {
+				continue
+			}
+			s.addLSP(src, dst, path, opts, bypass)
+			for j := 0; j < opts.Services; j++ {
+				s.addService(src, dst, path, j, opts, bypass)
+			}
+		}
+	}
+	s.mirrorBypassArrivals(bypass)
+	return s
+}
+
+// mirrorBypassArrivals copies, for every protected link L with a bypass
+// tunnel ending in link f, the routing entries keyed (L, x) to (f, x): a
+// packet that detours around L arrives at the same router over f carrying
+// the same top label, and must be forwarded as if it had arrived over L
+// (cf. router v3's entries for the bypass arrival link e6 in Figure 1b).
+func (s *Synth) mirrorBypassArrivals(bypass map[topology.LinkID]*bypassTunnel) {
+	rt := s.Net.Routing
+	// Plan against a snapshot and apply in deterministic order, so chained
+	// mirrors do not depend on map iteration order.
+	links := make([]topology.LinkID, 0, len(bypass))
+	for l, bt := range bypass {
+		if bt != nil && bt.lastLink != l {
+			links = append(links, l)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	type planned struct {
+		link topology.LinkID
+		top  labels.ID
+		prio int
+		e    routing.Entry
+	}
+	var plan []planned
+	for _, l := range links {
+		bt := bypass[l]
+		for _, top := range rt.TopLabelsFor(l) {
+			for pr, grp := range rt.Lookup(l, top) {
+				for _, e := range grp.Entries {
+					plan = append(plan, planned{bt.lastLink, top, pr + 1, e})
+				}
+			}
+		}
+	}
+	for _, p := range plan {
+		dst := rt.Lookup(p.link, p.top)
+		if p.prio-1 < len(dst) && hasEntry(dst[p.prio-1], p.e) {
+			continue
+		}
+		rt.MustAdd(p.link, p.top, p.prio, p.e)
+	}
+}
+
+func hasEntry(g routing.Group, e routing.Entry) bool {
+	for _, x := range g.Entries {
+		if x.Out != e.Out || len(x.Ops) != len(e.Ops) {
+			continue
+		}
+		same := true
+		for i := range x.Ops {
+			if x.Ops[i] != e.Ops[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// addLSP installs the label-switched path for IP traffic from src to dst,
+// with penultimate-hop popping (PHP): the router before the egress pops the
+// LSP label, so packets arrive at the egress with the bare IP label.
+func (s *Synth) addLSP(src, dst topology.RouterID, path []topology.LinkID, opts SynthOpts, bypass map[topology.LinkID]*bypassTunnel) {
+	net := s.Net
+	name := fmt.Sprintf("lsp_%s_%s", net.Topo.Routers[src].Name, net.Topo.Routers[dst].Name)
+	m := len(path)
+	ipl := s.IPLabel[dst]
+	if m == 1 {
+		// Adjacent pair: plain IP forwarding, no label switching.
+		s.addOnce(s.ExtIn[src], ipl, 1, routing.Entry{Out: path[0]})
+		s.addOnce(path[0], ipl, 1, routing.Entry{Out: s.ExtOut[dst]})
+		return
+	}
+	// Hop labels ℓ1..ℓ(m-1): bottom-of-stack labels over the IP label.
+	hop := make([]labels.ID, m-1)
+	for i := range hop {
+		hop[i] = net.Labels.MustIntern(fmt.Sprintf("s%s_%d", name, i+1), labels.BottomMPLS)
+	}
+	// Ingress: push ℓ1 toward path[0].
+	s.addProtected(s.ExtIn[src], ipl, path[0],
+		routing.Ops{routing.Push(hop[0])}, opts, bypass)
+	// Core swaps up to the penultimate hop.
+	for i := 1; i < m-1; i++ {
+		s.addProtected(path[i-1], hop[i-1], path[i],
+			routing.Ops{routing.Swap(hop[i])}, opts, bypass)
+	}
+	// PHP: pop before the last hop (pops cannot be tunnel-protected: the
+	// revealed IP label cannot carry a bypass label).
+	s.addProtected(path[m-2], hop[m-2], path[m-1], routing.Ops{routing.Pop()}, opts, bypass)
+	// Egress: the packet arrives with the bare IP label and leaves.
+	s.addOnce(path[m-1], ipl, 1, routing.Entry{Out: s.ExtOut[dst]})
+}
+
+// addService installs a NORDUnet-style service chain from src to dst: the
+// packet arrives with a service label on top of the IP label, is swapped to
+// a transit service label, tunnelled through a per-pair LSP tunnel of plain
+// MPLS labels (so the label stack reaches depth three: tunnel ∘ service ∘
+// IP), and leaves with a different service label (cf. s40 → s44 in the
+// running example).
+func (s *Synth) addService(src, dst topology.RouterID, path []topology.LinkID, j int, opts SynthOpts, bypass map[topology.LinkID]*bypassTunnel) {
+	net := s.Net
+	m := len(path)
+	pair := fmt.Sprintf("%s_%s", net.Topo.Routers[src].Name, net.Topo.Routers[dst].Name)
+	mk := func(role string) labels.ID {
+		return net.Labels.MustIntern(
+			fmt.Sprintf("$%d%s%s", 400000+j*7, role, pair), labels.BottomMPLS)
+	}
+	in, transit, out := mk("a"), mk("w"), mk("b")
+	if j == 0 {
+		s.ServiceIn = append(s.ServiceIn, Service{Src: src, Dst: dst, In: in})
+	}
+	if m == 1 {
+		// Adjacent pair: swap chain without a tunnel.
+		s.addOnce(s.ExtIn[src], in, 1, routing.Entry{Out: path[0], Ops: routing.Ops{routing.Swap(transit)}})
+		s.addOnce(path[0], transit, 1, routing.Entry{Out: s.ExtOut[dst], Ops: routing.Ops{routing.Swap(out)}})
+		return
+	}
+	t1 := s.pairTunnel(pair, path, opts, bypass)
+	// Ingress: swap to the transit label and push the tunnel label.
+	s.addProtected(s.ExtIn[src], in, path[0],
+		routing.Ops{routing.Swap(transit), routing.Push(t1)}, opts, bypass)
+	// Egress: the tunnel label was popped at the penultimate hop; the
+	// packet arrives with the transit label and leaves re-labelled.
+	s.addOnce(path[m-1], transit, 1,
+		routing.Entry{Out: s.ExtOut[dst], Ops: routing.Ops{routing.Swap(out)}})
+}
+
+// pairTunnel builds (once per src/dst pair) the shared LSP tunnel of plain
+// MPLS labels along the path, with PHP popping, and returns the first
+// tunnel label. Requires len(path) ≥ 2.
+func (s *Synth) pairTunnel(pair string, path []topology.LinkID, opts SynthOpts, bypass map[topology.LinkID]*bypassTunnel) labels.ID {
+	net := s.Net
+	m := len(path)
+	first := net.Labels.Lookup("T" + pair + "_1")
+	if first != labels.None {
+		return first // already built
+	}
+	tun := make([]labels.ID, m-1)
+	for i := range tun {
+		tun[i] = net.Labels.MustIntern(fmt.Sprintf("T%s_%d", pair, i+1), labels.MPLS)
+	}
+	for i := 1; i < m-1; i++ {
+		s.addProtected(path[i-1], tun[i-1], path[i],
+			routing.Ops{routing.Swap(tun[i])}, opts, bypass)
+	}
+	s.addProtected(path[m-2], tun[m-2], path[m-1], routing.Ops{routing.Pop()}, opts, bypass)
+	return tun[0]
+}
+
+// addOnce adds an entry unless an identical one already exists at that key
+// and priority (shared egress rules are emitted once per destination).
+func (s *Synth) addOnce(in topology.LinkID, top labels.ID, prio int, e routing.Entry) {
+	gs := s.Net.Routing.Lookup(in, top)
+	if prio-1 < len(gs) && hasEntry(gs[prio-1], e) {
+		return
+	}
+	s.Net.Routing.MustAdd(in, top, prio, e)
+}
+
+// addProtected installs a priority-1 entry and, when enabled and possible,
+// a priority-2 fast-reroute entry that tunnels around the primary link.
+func (s *Synth) addProtected(in topology.LinkID, top labels.ID, out topology.LinkID, ops routing.Ops, opts SynthOpts, bypass map[topology.LinkID]*bypassTunnel) {
+	s.addOnce(in, top, 1, routing.Entry{Out: out, Ops: ops})
+	if !opts.Protection {
+		return
+	}
+	for _, op := range ops {
+		if op.Kind == routing.OpPop {
+			// A pop may reveal an IP label, on which no bypass label can
+			// be pushed; PHP hops stay unprotected (as in real FRR).
+			return
+		}
+	}
+	bt := s.bypassFor(out, bypass)
+	if bt == nil {
+		return
+	}
+	backupOps := append(append(routing.Ops{}, ops...), routing.Push(bt.firstLabel))
+	s.addOnce(in, top, 2, routing.Entry{Out: bt.firstLink, Ops: backupOps})
+}
+
+// bypassTunnel is a shared per-link protection tunnel: a path around the
+// link with a swap chain of plain MPLS labels and penultimate-hop popping.
+type bypassTunnel struct {
+	firstLink  topology.LinkID
+	firstLabel labels.ID
+	lastLink   topology.LinkID
+}
+
+// bypassFor returns (building on demand) the bypass tunnel around link l,
+// or nil if no alternative path exists.
+func (s *Synth) bypassFor(l topology.LinkID, bypass map[topology.LinkID]*bypassTunnel) *bypassTunnel {
+	if bt, ok := bypass[l]; ok {
+		return bt
+	}
+	net := s.Net
+	g := net.Topo
+	path := shortestAvoiding(g, g.Source(l), g.Target(l), l)
+	if path == nil || len(path) < 2 {
+		bypass[l] = nil
+		return nil
+	}
+	m := len(path)
+	labelsChain := make([]labels.ID, m-1)
+	for i := range labelsChain {
+		labelsChain[i] = net.Labels.MustIntern(fmt.Sprintf("byp_%d_%d", l, i+1), labels.MPLS)
+	}
+	// Swap chain with PHP: the router before the last hop pops.
+	for i := 1; i < m-1; i++ {
+		net.Routing.MustAdd(path[i-1], labelsChain[i-1], 1,
+			routing.Entry{Out: path[i], Ops: routing.Ops{routing.Swap(labelsChain[i])}})
+	}
+	net.Routing.MustAdd(path[m-2], labelsChain[m-2], 1,
+		routing.Entry{Out: path[m-1], Ops: routing.Ops{routing.Pop()}})
+	bt := &bypassTunnel{firstLink: path[0], firstLabel: labelsChain[0], lastLink: path[m-1]}
+	bypass[l] = bt
+	return bt
+}
+
+// shortestAvoiding computes a shortest path from a to b that does not use
+// link avoid; nil when none exists.
+func shortestAvoiding(g *topology.Graph, a, b topology.RouterID, avoid topology.LinkID) []topology.LinkID {
+	// Dijkstra with the avoided link masked out; small networks, so a
+	// simple BFS-by-weight via repeated relaxation is sufficient.
+	const inf = ^uint64(0)
+	n := g.NumRouters()
+	dist := make([]uint64, n)
+	via := make([]topology.LinkID, n)
+	for i := range dist {
+		dist[i] = inf
+		via[i] = topology.NoLink
+	}
+	dist[a] = 0
+	for changed := true; changed; {
+		changed = false
+		for li := 0; li < g.NumLinks(); li++ {
+			l := topology.LinkID(li)
+			if l == avoid || g.Links[l].SelfLoop() {
+				continue
+			}
+			w := g.Links[l].Weight
+			if w == 0 {
+				w = 1
+			}
+			from, to := g.Source(l), g.Target(l)
+			if dist[from] != inf && dist[from]+w < dist[to] {
+				dist[to] = dist[from] + w
+				via[to] = l
+				changed = true
+			}
+		}
+	}
+	if dist[b] == inf {
+		return nil
+	}
+	var rev []topology.LinkID
+	cur := b
+	for cur != a {
+		l := via[cur]
+		if l == topology.NoLink {
+			return nil
+		}
+		rev = append(rev, l)
+		cur = g.Source(l)
+	}
+	out := make([]topology.LinkID, len(rev))
+	for i, l := range rev {
+		out[len(rev)-1-i] = l
+	}
+	return out
+}
+
+// Build synthesises the standard MPLS dataplane (LSPs between every pair of
+// edge routers, optional fast-reroute protection and service chains) on an
+// existing core topology — e.g. one imported from a Topology Zoo GML file.
+// The edge routers must already exist in the topology; Build adds their
+// external stub routers and the routing rules.
+func Build(net *network.Network, edge []topology.RouterID, opts SynthOpts) *Synth {
+	return synthesize(net, edge, opts)
+}
+
+// PickEdgeRouters deterministically selects count provider-edge routers
+// from the topology (seeded sample over all routers); it is a convenience
+// for imported topologies that carry no role annotations.
+func PickEdgeRouters(net *network.Network, count int, seed int64) []topology.RouterID {
+	n := net.Topo.NumRouters()
+	if count > n {
+		count = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]topology.RouterID, 0, count)
+	for _, i := range perm[:count] {
+		out = append(out, topology.RouterID(i))
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aalwines/internal/network"
+	"aalwines/internal/topology"
+)
+
+// ZooOpts parameterises the synthetic Internet-Topology-Zoo-style networks.
+// The defaults (via Zoo) match the statistics reported in §5: an average of
+// about 84 routers, the largest instance at 240.
+type ZooOpts struct {
+	Routers int // core router count
+	// EdgeRouters bounds the number of provider-edge routers carrying
+	// LSPs; 0 means min(12, Routers/4+2).
+	EdgeRouters int
+	// Protection enables fast-failover bypass tunnels (on for the paper's
+	// workloads).
+	Protection bool
+	Seed       int64
+}
+
+// ZooSizes returns a deterministic family of network sizes whose mean is
+// ≈84 routers and whose maximum is 240, mimicking the Topology Zoo subset
+// used in the paper.
+func ZooSizes(count int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, count)
+	for i := range sizes {
+		// Log-normal-ish: many small networks, a tail of large ones.
+		v := math.Exp(rng.NormFloat64()*0.65 + 4.25)
+		n := int(v)
+		if n < 10 {
+			n = 10
+		}
+		if n > 240 {
+			n = 240
+		}
+		sizes[i] = n
+	}
+	if count > 0 {
+		sizes[count-1] = 240 // ensure the largest instance is present
+	}
+	return sizes
+}
+
+// Zoo builds one synthetic wide-area network with the given options: a
+// Waxman-style geometric random graph (routers placed in a unit square,
+// links preferring short distances) made connected by a ring backbone, then
+// the standard MPLS dataplane synthesis (LSPs between all edge pairs with
+// local fast-failover protection).
+func Zoo(opts ZooOpts) *Synth {
+	if opts.Routers == 0 {
+		opts.Routers = 84
+	}
+	if opts.EdgeRouters == 0 {
+		opts.EdgeRouters = opts.Routers/4 + 2
+		if opts.EdgeRouters > 12 {
+			opts.EdgeRouters = 12
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	net := network.New(fmt.Sprintf("zoo-%d-%d", opts.Routers, opts.Seed))
+	g := net.Topo
+
+	n := opts.Routers
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ids := make([]topology.RouterID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddRouter(fmt.Sprintf("R%d", i))
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+		// Map the unit square onto a rough European bounding box for the
+		// location metadata.
+		g.SetLocation(ids[i], 40+ys[i]*20, -5+xs[i]*25)
+	}
+	linkSeq := 0
+	addBoth := func(a, b int, w uint64) {
+		// Interface names carry a sequence number: parallel links between
+		// the same routers are legal in the multigraph model.
+		linkSeq++
+		g.MustAddLink(ids[a], ids[b], fmt.Sprintf("to%d-%d", b, linkSeq), fmt.Sprintf("fr%d-%d", a, linkSeq), w)
+		g.MustAddLink(ids[b], ids[a], fmt.Sprintf("to%d-%d", a, linkSeq), fmt.Sprintf("fr%d-%d", b, linkSeq), w)
+	}
+	dist := func(a, b int) float64 {
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	// Ring backbone for connectivity.
+	order := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		a, b := order[i], order[(i+1)%n]
+		addBoth(a, b, uint64(1+dist(a, b)*10))
+	}
+	// Waxman extra links: P(link) = α·exp(−d/(β·L)).
+	const alpha, beta = 0.25, 0.35
+	for a := 0; a < n; a++ {
+		for b := a + 2; b < n; b++ {
+			if rng.Float64() < alpha*math.Exp(-dist(a, b)/(beta*math.Sqrt2)) {
+				addBoth(a, b, uint64(1+dist(a, b)*10))
+			}
+		}
+	}
+	// Edge routers: a deterministic sample.
+	perm := rng.Perm(n)
+	edge := make([]topology.RouterID, 0, opts.EdgeRouters)
+	for _, i := range perm[:opts.EdgeRouters] {
+		edge = append(edge, ids[i])
+	}
+	return synthesize(net, edge, SynthOpts{Protection: opts.Protection})
+}

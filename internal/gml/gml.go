@@ -1,0 +1,309 @@
+// Package gml reads and writes the GML graph format used by the Internet
+// Topology Zoo [topology-zoo.org], the dataset the paper's evaluation draws
+// its wide-area topologies from. Reading a Zoo file yields the topology
+// (routers, bidirectional links, coordinates); the MPLS dataplane is then
+// synthesised on top with gen.Build, exactly as the paper does ("label
+// switching paths between any two edge routers ... with local fast failover
+// protection").
+package gml
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aalwines/internal/network"
+	"aalwines/internal/topology"
+)
+
+// Value is a GML value: a string, a number (float64) or a nested object.
+type Value struct {
+	Str  string
+	Num  float64
+	Obj  *Object
+	Kind ValueKind
+}
+
+// ValueKind discriminates Value.
+type ValueKind uint8
+
+// Value kinds.
+const (
+	StrVal ValueKind = iota
+	NumVal
+	ObjVal
+)
+
+// Object is an ordered multimap of key/value pairs (GML allows repeated
+// keys; "node" and "edge" repeat by design).
+type Object struct {
+	Keys   []string
+	Values []Value
+}
+
+// Get returns the first value for key; ok is false when absent.
+func (o *Object) Get(key string) (Value, bool) {
+	for i, k := range o.Keys {
+		if k == key {
+			return o.Values[i], true
+		}
+	}
+	return Value{}, false
+}
+
+// All returns every value for key, in order.
+func (o *Object) All(key string) []Value {
+	var out []Value
+	for i, k := range o.Keys {
+		if k == key {
+			out = append(out, o.Values[i])
+		}
+	}
+	return out
+}
+
+// Parse reads a GML document into its root object.
+func Parse(r io.Reader) (*Object, error) {
+	tz := &tokenizer{sc: bufio.NewScanner(r)}
+	tz.sc.Buffer(make([]byte, 1<<20), 1<<24)
+	tz.sc.Split(bufio.ScanWords)
+	root := &Object{}
+	for {
+		tok, ok := tz.next()
+		if !ok {
+			return root, nil
+		}
+		if err := parsePair(tz, root, tok); err != nil {
+			return nil, err
+		}
+	}
+}
+
+type tokenizer struct {
+	sc      *bufio.Scanner
+	pending []string
+}
+
+// next returns the next token; quoted strings are reassembled from the
+// word-split stream (GML labels may contain spaces).
+func (t *tokenizer) next() (string, bool) {
+	if len(t.pending) > 0 {
+		tok := t.pending[0]
+		t.pending = t.pending[1:]
+		return tok, true
+	}
+	if !t.sc.Scan() {
+		return "", false
+	}
+	word := t.sc.Text()
+	if !strings.HasPrefix(word, `"`) {
+		return word, true
+	}
+	// Reassemble until the closing quote.
+	parts := []string{word}
+	for !strings.HasSuffix(parts[len(parts)-1], `"`) || len(parts[len(parts)-1]) < 2 {
+		if !t.sc.Scan() {
+			break
+		}
+		parts = append(parts, t.sc.Text())
+	}
+	full := strings.Join(parts, " ")
+	return full, true
+}
+
+func parsePair(t *tokenizer, obj *Object, key string) error {
+	tok, ok := t.next()
+	if !ok {
+		return fmt.Errorf("gml: key %q without value", key)
+	}
+	switch {
+	case tok == "[":
+		child := &Object{}
+		for {
+			k, ok := t.next()
+			if !ok {
+				return fmt.Errorf("gml: unterminated object for key %q", key)
+			}
+			if k == "]" {
+				break
+			}
+			if err := parsePair(t, child, k); err != nil {
+				return err
+			}
+		}
+		obj.Keys = append(obj.Keys, key)
+		obj.Values = append(obj.Values, Value{Obj: child, Kind: ObjVal})
+	case strings.HasPrefix(tok, `"`):
+		s := strings.TrimSuffix(strings.TrimPrefix(tok, `"`), `"`)
+		obj.Keys = append(obj.Keys, key)
+		obj.Values = append(obj.Values, Value{Str: s, Kind: StrVal})
+	default:
+		n, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			// Bare words (e.g. version identifiers) are kept as strings.
+			obj.Keys = append(obj.Keys, key)
+			obj.Values = append(obj.Values, Value{Str: tok, Kind: StrVal})
+			return nil
+		}
+		obj.Keys = append(obj.Keys, key)
+		obj.Values = append(obj.Values, Value{Num: n, Kind: NumVal})
+	}
+	return nil
+}
+
+// ReadTopology parses a GML file and builds a network with the topology
+// populated (no routing rules): every GML edge becomes a pair of directed
+// links; node coordinates (Latitude/Longitude) become router locations.
+// Nodes without labels are named "N<id>". Duplicate labels are
+// disambiguated with the node id.
+func ReadTopology(r io.Reader) (*network.Network, error) {
+	root, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	gv, ok := root.Get("graph")
+	if !ok || gv.Kind != ObjVal {
+		return nil, fmt.Errorf("gml: no graph object")
+	}
+	graph := gv.Obj
+	name := "gml-import"
+	if lv, ok := graph.Get("label"); ok && lv.Str != "" {
+		name = lv.Str
+	}
+	net := network.New(name)
+	g := net.Topo
+
+	byID := map[int]topology.RouterID{}
+	seenName := map[string]bool{}
+	for _, nv := range graph.All("node") {
+		if nv.Kind != ObjVal {
+			continue
+		}
+		n := nv.Obj
+		idv, ok := n.Get("id")
+		if !ok || idv.Kind != NumVal {
+			return nil, fmt.Errorf("gml: node without numeric id")
+		}
+		id := int(idv.Num)
+		label := fmt.Sprintf("N%d", id)
+		if lv, ok := n.Get("label"); ok && lv.Str != "" {
+			label = sanitize(lv.Str)
+		}
+		if seenName[label] {
+			label = fmt.Sprintf("%s-%d", label, id)
+		}
+		seenName[label] = true
+		rid := g.AddRouter(label)
+		byID[id] = rid
+		lat, okLat := n.Get("Latitude")
+		lng, okLng := n.Get("Longitude")
+		if okLat && okLng && lat.Kind == NumVal && lng.Kind == NumVal {
+			g.SetLocation(rid, lat.Num, lng.Num)
+		}
+	}
+	edgeSeq := 0
+	for _, ev := range graph.All("edge") {
+		if ev.Kind != ObjVal {
+			continue
+		}
+		e := ev.Obj
+		sv, ok1 := e.Get("source")
+		tv, ok2 := e.Get("target")
+		if !ok1 || !ok2 || sv.Kind != NumVal || tv.Kind != NumVal {
+			return nil, fmt.Errorf("gml: edge without numeric source/target")
+		}
+		src, ok1 := byID[int(sv.Num)]
+		dst, ok2 := byID[int(tv.Num)]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("gml: edge references unknown node")
+		}
+		edgeSeq++
+		w := uint64(1)
+		if lv, ok := e.Get("LinkSpeed"); ok && lv.Kind == NumVal && lv.Num > 0 {
+			// Inverse capacity as a crude cost: faster links are cheaper.
+			w = uint64(1e6/lv.Num) + 1
+		}
+		if _, err := g.AddLink(src, dst, fmt.Sprintf("e%d-a", edgeSeq), fmt.Sprintf("e%d-b", edgeSeq), w); err != nil {
+			return nil, err
+		}
+		if _, err := g.AddLink(dst, src, fmt.Sprintf("e%d-b", edgeSeq), fmt.Sprintf("e%d-a", edgeSeq), w); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// sanitize makes a GML label usable as a router name in the query language
+// (no spaces, '#', '.', brackets).
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_':
+			b.WriteRune(c)
+		case c == ' ':
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "node"
+	}
+	return b.String()
+}
+
+// WriteTopology emits a network's topology as GML, merging directed link
+// pairs into single edges (matching how the Zoo publishes graphs).
+func WriteTopology(w io.Writer, net *network.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph [\n  label %q\n  directed 0\n", net.Name)
+	ids := map[string]int{}
+	names := make([]string, net.Topo.NumRouters())
+	for i := range net.Topo.Routers {
+		names[i] = net.Topo.Routers[i].Name
+	}
+	for i, n := range names {
+		ids[n] = i
+		r := &net.Topo.Routers[i]
+		fmt.Fprintf(bw, "  node [\n    id %d\n    label %q\n", i, n)
+		if r.HasLoc {
+			fmt.Fprintf(bw, "    Latitude %g\n    Longitude %g\n", r.Lat, r.Lng)
+		}
+		fmt.Fprintf(bw, "  ]\n")
+	}
+	type pair struct{ a, b int }
+	seen := map[pair]int{}
+	var edges []pair
+	for i := 0; i < net.Topo.NumLinks(); i++ {
+		l := net.Topo.Links[i]
+		a, b := int(l.From), int(l.To)
+		if a > b {
+			a, b = b, a
+		}
+		p := pair{a, b}
+		if seen[p] == 0 {
+			edges = append(edges, p)
+		}
+		seen[p]++
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		// Each undirected edge came from (typically) two directed links.
+		n := seen[e] / 2
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(bw, "  edge [\n    source %d\n    target %d\n  ]\n", e.a, e.b)
+		}
+	}
+	fmt.Fprintf(bw, "]\n")
+	return bw.Flush()
+}

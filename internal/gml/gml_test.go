@@ -1,0 +1,189 @@
+package gml_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/gml"
+)
+
+// zooSample is a miniature Topology Zoo file (Abilene-style shape).
+const zooSample = `
+graph [
+  label "SampleNet"
+  Network "Sample Research Net"
+  directed 0
+  node [
+    id 0
+    label "New York"
+    Latitude 40.71
+    Longitude -74.0
+  ]
+  node [
+    id 1
+    label "Chicago"
+    Latitude 41.88
+    Longitude -87.63
+  ]
+  node [
+    id 2
+    label "Denver"
+    Latitude 39.74
+    Longitude -104.99
+  ]
+  node [
+    id 3
+    label "Los Angeles"
+    Latitude 34.05
+    Longitude -118.24
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed 10000
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+  edge [
+    source 0
+    target 2
+  ]
+]
+`
+
+func TestParseStructure(t *testing.T) {
+	root, err := gml.Parse(strings.NewReader(zooSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, ok := root.Get("graph")
+	if !ok {
+		t.Fatal("no graph")
+	}
+	if nodes := gv.Obj.All("node"); len(nodes) != 4 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	if edges := gv.Obj.All("edge"); len(edges) != 4 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	lv, _ := gv.Obj.Get("label")
+	if lv.Str != "SampleNet" {
+		t.Fatalf("label = %q", lv.Str)
+	}
+}
+
+func TestReadTopology(t *testing.T) {
+	net, err := gml.ReadTopology(strings.NewReader(zooSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Topo.NumRouters() != 4 {
+		t.Fatalf("routers = %d", net.Topo.NumRouters())
+	}
+	// 4 undirected edges = 8 directed links.
+	if net.Topo.NumLinks() != 8 {
+		t.Fatalf("links = %d", net.Topo.NumLinks())
+	}
+	// Multi-word labels sanitised for the query language.
+	if id := net.Topo.RouterByName("New_York"); id < 0 {
+		t.Fatal("New_York missing")
+	}
+	ny := net.Topo.RouterByName("New_York")
+	if !net.Topo.Routers[ny].HasLoc {
+		t.Fatal("coordinates lost")
+	}
+}
+
+// TestSynthesiseAndVerifyOnGML builds the paper's dataplane on an imported
+// GML topology and runs a query end to end.
+func TestSynthesiseAndVerifyOnGML(t *testing.T) {
+	net, err := gml.ReadTopology(strings.NewReader(zooSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := gen.PickEdgeRouters(net, 3, 1)
+	s := gen.Build(net, edge, gen.SynthOpts{Protection: true})
+	if s.Net.Routing.NumRules() == 0 {
+		t.Fatal("no rules synthesised")
+	}
+	a := net.Topo.Routers[edge[0]].Name
+	b := net.Topo.Routers[edge[1]].Name
+	res, err := engine.VerifyText(net, "<ip> [.#"+a+"] .* [.#"+b+"] <ip> 1", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != engine.Satisfied {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	net, err := gml.ReadTopology(strings.NewReader(zooSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gml.WriteTopology(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	again, err := gml.ReadTopology(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, buf.String())
+	}
+	if again.Topo.NumRouters() != net.Topo.NumRouters() {
+		t.Fatalf("routers: %d vs %d", again.Topo.NumRouters(), net.Topo.NumRouters())
+	}
+	if again.Topo.NumLinks() != net.Topo.NumLinks() {
+		t.Fatalf("links: %d vs %d", again.Topo.NumLinks(), net.Topo.NumLinks())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,                             // no graph
+		`graph [ node [ id 0`,          // unterminated
+		`graph [ node [ label "x" ] ]`, // node without id
+		`graph [ node [ id 0 ] edge [ source 0 target 9 ] ]`, // unknown node
+		`graph [ edge [ source 0 ] ]`,                        // edge without target
+	}
+	for _, s := range bad {
+		if _, err := gml.ReadTopology(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadTopology(%q) succeeded", s)
+		}
+	}
+}
+
+func TestDuplicateLabelsDisambiguated(t *testing.T) {
+	doc := `graph [
+	  node [ id 0 label "Same" ]
+	  node [ id 1 label "Same" ]
+	  edge [ source 0 target 1 ]
+	]`
+	net, err := gml.ReadTopology(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Topo.NumRouters() != 2 {
+		t.Fatalf("routers = %d", net.Topo.NumRouters())
+	}
+}
+
+func TestWriteIncludesCoordinates(t *testing.T) {
+	s := gen.Nordunet(gen.NordOpts{Services: 1, EdgeRouters: 6, Seed: 1})
+	var buf bytes.Buffer
+	if err := gml.WriteTopology(&buf, s.Net); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Latitude") {
+		t.Fatal("coordinates not written")
+	}
+}

@@ -1,0 +1,235 @@
+// Package httpapi exposes the verification engine as a JSON-over-HTTP
+// service, playing the role of the backend that serves the AalWiNes web
+// GUI (§4 of the paper runs it at demo.aalwines.cs.aau.dk). The API serves
+// the loaded networks' topologies (for visualisation) and runs queries:
+//
+//	GET  /api/networks                  → available networks
+//	GET  /api/networks/{name}/topology  → routers (with coordinates) + links
+//	POST /api/verify                    → run a query, returns the verdict,
+//	                                      witness trace and timings
+//	GET  /healthz                       → liveness probe
+//
+// Networks are immutable after registration, so verification requests run
+// concurrently without locking.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aalwines/internal/cli"
+	"aalwines/internal/engine"
+	"aalwines/internal/loc"
+	"aalwines/internal/moped"
+	"aalwines/internal/network"
+	"aalwines/internal/weight"
+)
+
+// Server is the HTTP API. Register networks before serving; registration
+// is not safe concurrently with request handling.
+type Server struct {
+	mu       sync.RWMutex
+	networks map[string]*network.Network
+	// MaxBudget caps per-request saturation work (0 = unlimited); requests
+	// may lower it but not exceed it.
+	MaxBudget int64
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{networks: make(map[string]*network.Network)}
+}
+
+// Register adds a network under its name.
+func (s *Server) Register(net *network.Network) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.networks[net.Name] = net
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /api/networks", s.handleList)
+	mux.HandleFunc("GET /api/networks/{name}/topology", s.handleTopology)
+	mux.HandleFunc("POST /api/verify", s.handleVerify)
+	return mux
+}
+
+// NetworkInfo summarises one registered network.
+type NetworkInfo struct {
+	Name    string `json:"name"`
+	Routers int    `json:"routers"`
+	Links   int    `json:"links"`
+	Rules   int    `json:"rules"`
+	Labels  int    `json:"labels"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []NetworkInfo
+	for _, n := range s.networks {
+		out = append(out, NetworkInfo{
+			Name: n.Name, Routers: n.Topo.NumRouters(), Links: n.Topo.NumLinks(),
+			Rules: n.Routing.NumRules(), Labels: n.Labels.Len(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// TopologyJSON is the GUI-facing topology representation.
+type TopologyJSON struct {
+	Name    string       `json:"name"`
+	Routers []RouterJSON `json:"routers"`
+	Links   []LinkJSON   `json:"links"`
+}
+
+// RouterJSON is one node.
+type RouterJSON struct {
+	Name string     `json:"name"`
+	Loc  *loc.Point `json:"loc,omitempty"`
+}
+
+// LinkJSON is one directed link.
+type LinkJSON struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	FromIfc string `json:"fromIfc,omitempty"`
+	ToIfc   string `json:"toIfc,omitempty"`
+	Weight  uint64 `json:"weight,omitempty"`
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	net := s.lookup(r.PathValue("name"))
+	if net == nil {
+		writeError(w, http.StatusNotFound, "unknown network")
+		return
+	}
+	out := TopologyJSON{Name: net.Name}
+	for i := range net.Topo.Routers {
+		rt := &net.Topo.Routers[i]
+		rj := RouterJSON{Name: rt.Name}
+		if rt.HasLoc {
+			rj.Loc = &loc.Point{Lat: rt.Lat, Lng: rt.Lng}
+		}
+		out.Routers = append(out.Routers, rj)
+	}
+	for i := 0; i < net.Topo.NumLinks(); i++ {
+		l := net.Topo.Links[i]
+		out.Links = append(out.Links, LinkJSON{
+			From:    net.Topo.Routers[l.From].Name,
+			To:      net.Topo.Routers[l.To].Name,
+			FromIfc: l.FromIfc, ToIfc: l.ToIfc, Weight: l.Weight,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// VerifyRequest is the body of POST /api/verify.
+type VerifyRequest struct {
+	Network string `json:"network"`
+	Query   string `json:"query"`
+	// Weight is an optional minimisation vector, e.g.
+	// "Hops, Failures + 3*Tunnels".
+	Weight string `json:"weight,omitempty"`
+	// Engine selects "dual" (default) or "moped".
+	Engine string `json:"engine,omitempty"`
+	// Budget bounds saturation work; capped by the server's MaxBudget.
+	Budget int64 `json:"budget,omitempty"`
+	// GeoDistance uses great-circle distances for the Distance quantity.
+	GeoDistance bool `json:"geoDistance,omitempty"`
+	// NoReductions disables the reduction pass (diagnostics).
+	NoReductions bool `json:"noReductions,omitempty"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	net := s.lookup(req.Network)
+	if net == nil {
+		writeError(w, http.StatusNotFound, "unknown network "+req.Network)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	opts := engine.Options{NoReductions: req.NoReductions}
+	opts.Budget = s.MaxBudget
+	if req.Budget > 0 && (s.MaxBudget == 0 || req.Budget < s.MaxBudget) {
+		opts.Budget = req.Budget
+	}
+	if req.Weight != "" {
+		spec, err := weight.ParseSpec(req.Weight)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		opts.Spec = spec
+	}
+	if req.GeoDistance {
+		opts.Dist = loc.DistanceFunc(net)
+	}
+	switch req.Engine {
+	case "", "dual":
+	case "moped":
+		if opts.Spec != nil {
+			writeError(w, http.StatusBadRequest, "the moped engine does not support weights")
+			return
+		}
+		opts.Saturate = moped.Poststar
+	default:
+		writeError(w, http.StatusBadRequest, "unknown engine "+req.Engine)
+		return
+	}
+	start := time.Now()
+	res, err := engine.VerifyText(net, req.Query, opts)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if err == engine.ErrBudget || strings.Contains(err.Error(), "budget") {
+			status = http.StatusRequestTimeout
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	out := cli.ToJSON(net, req.Query, res)
+	out.TimingMS.Build = res.Stats.BuildTime.Seconds() * 1000
+	_ = start
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(name string) *network.Network {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.networks[name]
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorJSON{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,226 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"aalwines/internal/cli"
+	"aalwines/internal/gen"
+	"aalwines/internal/httpapi"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := httpapi.NewServer()
+	s.Register(gen.RunningExample().Network)
+	s.Register(gen.Zoo(gen.ZooOpts{Routers: 16, Seed: 1, Protection: true}).Net)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestListNetworks(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/networks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []httpapi.NetworkInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("networks = %d, want 2", len(infos))
+	}
+	if infos[0].Name > infos[1].Name {
+		t.Error("not sorted")
+	}
+	for _, in := range infos {
+		if in.Rules == 0 || in.Routers == 0 {
+			t.Errorf("empty info: %+v", in)
+		}
+	}
+}
+
+func TestTopology(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/networks/running-example/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var topo httpapi.TopologyJSON
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Routers) != 7 || len(topo.Links) != 8 {
+		t.Fatalf("topology: %d routers %d links", len(topo.Routers), len(topo.Links))
+	}
+	// Unknown network → 404 JSON error.
+	resp2, err := http.Get(ts.URL + "/api/networks/ghost/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+func postVerify(t *testing.T, ts *httptest.Server, req httpapi.VerifyRequest) (*http.Response, cli.ResultJSON) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/api/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out cli.ResultJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := postVerify(t, ts, httpapi.VerifyRequest{
+		Network: "running-example",
+		Query:   "<ip> [.#v0] .* [v3#.] <ip> 0",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Verdict != "satisfied" || len(out.Trace) != 4 {
+		t.Fatalf("result = %+v", out)
+	}
+}
+
+func TestVerifyWeighted(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := postVerify(t, ts, httpapi.VerifyRequest{
+		Network: "running-example",
+		Query:   "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+		Weight:  "Hops, Failures + 3*Tunnels",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Weight) != 2 || out.Weight[0] != 5 || out.Weight[1] != 0 {
+		t.Fatalf("weight = %v, want [5 0]", out.Weight)
+	}
+}
+
+func TestVerifyMopedEngine(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := postVerify(t, ts, httpapi.VerifyRequest{
+		Network: "running-example",
+		Query:   "<ip> [.#v0] .* [v3#.] <ip> 0",
+		Engine:  "moped",
+	})
+	if resp.StatusCode != http.StatusOK || out.Verdict != "satisfied" {
+		t.Fatalf("status=%d result=%+v", resp.StatusCode, out)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		req    httpapi.VerifyRequest
+		status int
+	}{
+		{httpapi.VerifyRequest{Network: "ghost", Query: "<ip> .* <ip> 0"}, http.StatusNotFound},
+		{httpapi.VerifyRequest{Network: "running-example"}, http.StatusBadRequest},
+		{httpapi.VerifyRequest{Network: "running-example", Query: "<bogus> .* <ip> 0"}, http.StatusUnprocessableEntity},
+		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Weight: "frobs"}, http.StatusBadRequest},
+		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Engine: "z3"}, http.StatusBadRequest},
+		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Engine: "moped", Weight: "Hops"}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		resp, _ := postVerify(t, ts, c.req)
+		if resp.StatusCode != c.status {
+			t.Errorf("case %d: status = %d, want %d", i, resp.StatusCode, c.status)
+		}
+	}
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/api/verify", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d", resp.StatusCode)
+	}
+}
+
+func TestVerifyBudgetCap(t *testing.T) {
+	s := httpapi.NewServer()
+	s.Register(gen.RunningExample().Network)
+	s.MaxBudget = 1 // absurdly small: every query times out
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(httpapi.VerifyRequest{
+		Network: "running-example",
+		Query:   "<ip> [.#v0] .* [v3#.] <ip> 0",
+		Budget:  1_000_000, // request may not raise the cap
+	})
+	resp, err := http.Post(ts.URL+"/api/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status = %d, want 408", resp.StatusCode)
+	}
+}
+
+// TestConcurrentVerify exercises the read-only concurrency contract.
+func TestConcurrentVerify(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(httpapi.VerifyRequest{
+				Network: "running-example",
+				Query:   "<ip> [.#v0] .* [v3#.] <ip> 0",
+			})
+			resp, err := http.Post(ts.URL+"/api/verify", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- resp.Status
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,430 @@
+// Package isis imports network configurations exported from an IS-IS /
+// MPLS router fleet, per Appendix A.1 of the paper: per-router XML extracts
+// of `show isis adjacency detail`, `show route forwarding-table family mpls
+// extensive` and `show pfe next-hop`, tied together by a mapping file whose
+// lines have the form
+//
+//	<aliases>:<adj.xml>:<route-ft.xml>:<pfe.xml>
+//
+// Edge routers are declared by alias-only lines; they get empty routing
+// tables and act as sink nodes.
+//
+// The XML schemas follow the Junos operational-output structure in
+// simplified form (the real extracts carry much more data; only the
+// elements used for reconstruction are modelled). Backup next-hops are
+// recognised by their weight attribute (0x4000 and above), mirroring how
+// Junos marks loop-free-alternate and RSVP bypass next-hops.
+package isis
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"aalwines/internal/labels"
+	"aalwines/internal/network"
+	"aalwines/internal/routing"
+	"aalwines/internal/topology"
+)
+
+// Adjacency XML (`show isis adjacency detail | display xml`).
+type xmlAdjInfo struct {
+	XMLName     xml.Name       `xml:"isis-adjacency-information"`
+	Adjacencies []xmlAdjacency `xml:"isis-adjacency"`
+}
+
+type xmlAdjacency struct {
+	InterfaceName string `xml:"interface-name"`
+	SystemName    string `xml:"system-name"`
+	State         string `xml:"adjacency-state"`
+	// RemoteInterface is the neighbour's interface; real extracts derive
+	// it from the pfe data, simplified extracts may carry it inline.
+	RemoteInterface string `xml:"remote-interface-name"`
+}
+
+// Forwarding table XML (`show route forwarding-table family mpls`).
+type xmlFT struct {
+	XMLName xml.Name      `xml:"forwarding-table-information"`
+	Tables  []xmlRouteTbl `xml:"route-table"`
+}
+
+type xmlRouteTbl struct {
+	Entries []xmlRtEntry `xml:"rt-entry"`
+}
+
+type xmlRtEntry struct {
+	Destination string  `xml:"rt-destination"`
+	NextHops    []xmlNH `xml:"nh"`
+}
+
+type xmlNH struct {
+	Via    string `xml:"via"`
+	Type   string `xml:"nh-type"`
+	Weight string `xml:"weight"`
+}
+
+// PFE next-hop XML (`show pfe next-hop`); used to resolve indirect
+// next-hop identifiers to interfaces when present.
+type xmlPfe struct {
+	XMLName  xml.Name    `xml:"pfe-next-hop-information"`
+	NextHops []xmlPfeHop `xml:"next-hop"`
+}
+
+type xmlPfeHop struct {
+	ID        string `xml:"id"`
+	Interface string `xml:"interface"`
+}
+
+// routerSpec is one parsed mapping-file line.
+type routerSpec struct {
+	aliases []string
+	adj     string
+	routeFT string
+	pfe     string
+	edge    bool
+}
+
+// Load reads a mapping file and the per-router XML extracts from fsys and
+// reconstructs the MPLS network. Paths in the mapping file are relative to
+// fsys.
+func Load(fsys fs.FS, mappingPath string) (*network.Network, error) {
+	f, err := fsys.Open(mappingPath)
+	if err != nil {
+		return nil, fmt.Errorf("isis: %w", err)
+	}
+	defer f.Close()
+	specs, err := parseMapping(f)
+	if err != nil {
+		return nil, err
+	}
+	net := network.New("isis-import")
+	g := net.Topo
+
+	// First pass: routers.
+	for _, sp := range specs {
+		g.AddRouter(sp.aliases[len(sp.aliases)-1]) // last alias = system name
+	}
+	nameOf := func(sp routerSpec) string { return sp.aliases[len(sp.aliases)-1] }
+	byAlias := map[string]string{}
+	for _, sp := range specs {
+		for _, a := range sp.aliases {
+			byAlias[a] = nameOf(sp)
+		}
+	}
+
+	// Second pass: adjacencies become directed link pairs. Each side of a
+	// physical adjacency reports its own local interface; the two sides
+	// are paired by zipping the per-system adjacency lists (parallel
+	// adjacencies pair up in file order). Edge routers have no adjacency
+	// file, so their side is synthesised from the peer's view.
+	type side struct{ ifc, remote string }
+	adjMap := map[[2]string][]side{}
+	for _, sp := range specs {
+		if sp.edge {
+			continue
+		}
+		adjs, err := readAdj(fsys, sp.adj)
+		if err != nil {
+			return nil, fmt.Errorf("isis: %s: %w", sp.adj, err)
+		}
+		from := nameOf(sp)
+		for _, a := range adjs {
+			if !strings.EqualFold(a.State, "Up") {
+				continue
+			}
+			to, ok := byAlias[a.SystemName]
+			if !ok {
+				return nil, fmt.Errorf("isis: adjacency to unknown system %q", a.SystemName)
+			}
+			adjMap[[2]string{from, to}] = append(adjMap[[2]string{from, to}], side{a.InterfaceName, a.RemoteInterface})
+		}
+	}
+	var pairs [][2]string
+	donePair := map[[2]string]bool{}
+	for k := range adjMap {
+		a, b := k[0], k[1]
+		if a > b {
+			a, b = b, a
+		}
+		if !donePair[[2]string{a, b}] {
+			donePair[[2]string{a, b}] = true
+			pairs = append(pairs, [2]string{a, b})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		la := adjMap[[2]string{a, b}]
+		lb := adjMap[[2]string{b, a}]
+		n := len(la)
+		if len(lb) > n {
+			n = len(lb)
+		}
+		for i := 0; i < n; i++ {
+			var ifa, ifb string
+			switch {
+			case i < len(la) && i < len(lb):
+				ifa, ifb = la[i].ifc, lb[i].ifc
+			case i < len(la):
+				ifa = la[i].ifc
+				ifb = la[i].remote
+				if ifb == "" {
+					ifb = "peer-" + ifa
+				}
+			default:
+				ifb = lb[i].ifc
+				ifa = lb[i].remote
+				if ifa == "" {
+					ifa = "peer-" + ifb
+				}
+			}
+			ra, rb := g.RouterByName(a), g.RouterByName(b)
+			if _, err := g.AddLink(ra, rb, ifa, ifb, 1); err != nil {
+				return nil, fmt.Errorf("isis: %w", err)
+			}
+			if _, err := g.AddLink(rb, ra, ifb, ifa, 1); err != nil {
+				return nil, fmt.Errorf("isis: %w", err)
+			}
+		}
+	}
+
+	// Third pass: forwarding tables. Junos MPLS tables are keyed by label
+	// only; the rule applies to every incoming link of the router.
+	for _, sp := range specs {
+		if sp.edge {
+			continue
+		}
+		entries, err := readFT(fsys, sp.routeFT)
+		if err != nil {
+			return nil, fmt.Errorf("isis: %s: %w", sp.routeFT, err)
+		}
+		pfe := map[string]string{}
+		if sp.pfe != "" {
+			if pfe, err = readPfe(fsys, sp.pfe); err != nil {
+				return nil, fmt.Errorf("isis: %s: %w", sp.pfe, err)
+			}
+		}
+		r := g.RouterByName(nameOf(sp))
+		if err := applyFT(net, r, entries, pfe); err != nil {
+			return nil, fmt.Errorf("isis: router %s: %w", nameOf(sp), err)
+		}
+	}
+	return net, nil
+}
+
+func parseMapping(r io.Reader) ([]routerSpec, error) {
+	sc := bufio.NewScanner(r)
+	var specs []routerSpec
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ":")
+		aliases := strings.Split(parts[0], ",")
+		for i := range aliases {
+			aliases[i] = strings.TrimSpace(aliases[i])
+		}
+		if len(aliases) == 0 || aliases[0] == "" {
+			return nil, fmt.Errorf("isis: mapping line %d: no aliases", lineNo)
+		}
+		switch len(parts) {
+		case 1:
+			specs = append(specs, routerSpec{aliases: aliases, edge: true})
+		case 4:
+			specs = append(specs, routerSpec{
+				aliases: aliases, adj: parts[1], routeFT: parts[2], pfe: parts[3],
+			})
+		default:
+			return nil, fmt.Errorf("isis: mapping line %d: want <aliases> or <aliases>:<adj>:<route>:<pfe>", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("isis: empty mapping file")
+	}
+	return specs, nil
+}
+
+func readAdj(fsys fs.FS, path string) ([]xmlAdjacency, error) {
+	var info xmlAdjInfo
+	if err := decodeFile(fsys, path, &info); err != nil {
+		return nil, err
+	}
+	return info.Adjacencies, nil
+}
+
+func readFT(fsys fs.FS, path string) ([]xmlRtEntry, error) {
+	var ft xmlFT
+	if err := decodeFile(fsys, path, &ft); err != nil {
+		return nil, err
+	}
+	var out []xmlRtEntry
+	for _, t := range ft.Tables {
+		out = append(out, t.Entries...)
+	}
+	return out, nil
+}
+
+func readPfe(fsys fs.FS, path string) (map[string]string, error) {
+	var p xmlPfe
+	if err := decodeFile(fsys, path, &p); err != nil {
+		return nil, err
+	}
+	m := map[string]string{}
+	for _, h := range p.NextHops {
+		m[h.ID] = h.Interface
+	}
+	return m, nil
+}
+
+func decodeFile(fsys fs.FS, path string, v interface{}) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return xml.NewDecoder(f).Decode(v)
+}
+
+// applyFT converts forwarding-table entries into routing-table rules on
+// every incoming link of router r.
+func applyFT(net *network.Network, r topology.RouterID, entries []xmlRtEntry, pfe map[string]string) error {
+	g := net.Topo
+	ins := g.Routers[r].In()
+	for _, e := range entries {
+		top, err := internLabel(net, e.Destination)
+		if err != nil {
+			return err
+		}
+		for _, nh := range e.NextHops {
+			via := nh.Via
+			if mapped, ok := pfe[via]; ok {
+				via = mapped
+			}
+			out := g.LinkOut(r, via)
+			if out == topology.NoLink {
+				return fmt.Errorf("next-hop via unknown interface %q", via)
+			}
+			ops, err := parseNHType(net, nh.Type)
+			if err != nil {
+				return err
+			}
+			prio := 1
+			if isBackupWeight(nh.Weight) {
+				prio = 2
+			}
+			for _, in := range ins {
+				if err := net.Routing.Add(in, top, prio, routing.Entry{Out: out, Ops: ops}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// internLabel interns a forwarding-table destination: numeric MPLS labels
+// with an " S=0"-style suffix keep the suffix out of the name; destinations
+// that look like addresses become IP labels. A "(S)" or "S" suffix marks
+// the bottom-of-stack variant, mirroring how Junos distinguishes them.
+func internLabel(net *network.Network, dest string) (labels.ID, error) {
+	dest = strings.TrimSpace(dest)
+	if strings.HasSuffix(dest, "(S=0)") {
+		name := strings.TrimSpace(strings.TrimSuffix(dest, "(S=0)"))
+		return net.Labels.Intern(name, labels.MPLS)
+	}
+	if strings.Contains(dest, ".") || strings.Contains(dest, "/") {
+		return net.Labels.Intern(dest, labels.IP)
+	}
+	// Plain numeric label: bottom-of-stack by default, as in `family mpls`
+	// tables, where the non-bottom variant carries the (S=0) marker.
+	return net.Labels.Intern("s"+dest, labels.BottomMPLS)
+}
+
+// parseNHType parses Junos-style next-hop operation strings such as
+// "Swap 299856", "Pop", "Push 362144", "Swap 299857, Push 362144(top)".
+func parseNHType(net *network.Network, s string) (routing.Ops, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var ops routing.Ops
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToLower(fields[0]) {
+		case "pop":
+			ops = append(ops, routing.Pop())
+		case "swap":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("swap without label in %q", s)
+			}
+			l, err := internOpLabel(net, fields[1])
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, routing.Swap(l))
+		case "push":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("push without label in %q", s)
+			}
+			name := strings.TrimSuffix(fields[1], "(top)")
+			l, err := net.Labels.Intern(name, labels.MPLS)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, routing.Push(l))
+		default:
+			return nil, fmt.Errorf("unknown next-hop op %q", fields[0])
+		}
+	}
+	return ops, nil
+}
+
+// internOpLabel interns a swap target: swaps preserve the stack position,
+// so the swapped-in label takes the bottom-of-stack kind (the importer's
+// tables key plain numeric labels as bottom-of-stack; non-bottom swap
+// targets appear with an explicit (S=0) suffix).
+func internOpLabel(net *network.Network, name string) (labels.ID, error) {
+	if strings.HasSuffix(name, "(S=0)") {
+		return net.Labels.Intern(strings.TrimSuffix(name, "(S=0)"), labels.MPLS)
+	}
+	return net.Labels.Intern("s"+name, labels.BottomMPLS)
+}
+
+// isBackupWeight reports whether a Junos next-hop weight string marks a
+// backup path (0x4000 and above).
+func isBackupWeight(w string) bool {
+	w = strings.TrimSpace(strings.TrimPrefix(strings.ToLower(w), "0x"))
+	if w == "" {
+		return false
+	}
+	var v uint64
+	for _, c := range w {
+		switch {
+		case c >= '0' && c <= '9':
+			v = v*16 + uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v*16 + uint64(c-'a'+10)
+		default:
+			return false
+		}
+	}
+	return v >= 0x4000
+}

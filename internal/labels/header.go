@@ -1,0 +1,97 @@
+package labels
+
+import "strings"
+
+// Header is a valid MPLS packet header: a label stack written top-first,
+// exactly as in the paper (the left-most label is the top of the stack).
+//
+// The set of valid headers is
+//
+//	H = L_IP ∪ { α ℓ1 ℓ0 | α ∈ L_M*, ℓ1 ∈ L_M⊥, ℓ0 ∈ L_IP }
+//
+// i.e. a bare IP label, or any number of plain MPLS labels on top of one
+// bottom-of-stack MPLS label on top of an IP label.
+type Header []ID
+
+// Top returns the top (left-most) label of the header, or None for the
+// empty header.
+func (h Header) Top() ID {
+	if len(h) == 0 {
+		return None
+	}
+	return h[0]
+}
+
+// Clone returns a copy of the header that shares no storage with h.
+func (h Header) Clone() Header {
+	out := make(Header, len(h))
+	copy(out, h)
+	return out
+}
+
+// Equal reports whether two headers are identical label sequences.
+func (h Header) Equal(o Header) bool {
+	if len(h) != len(o) {
+		return false
+	}
+	for i := range h {
+		if h[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the header in the paper's composition notation, e.g.
+// "30 ∘ s20 ∘ ip1".
+func (h Header) Format(t *Table) string {
+	if len(h) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(h))
+	for i, id := range h {
+		parts[i] = t.Name(id)
+	}
+	return strings.Join(parts, " ∘ ")
+}
+
+// Valid reports whether h is a member of the valid header set H of the
+// network whose labels are interned in t.
+func (h Header) Valid(t *Table) bool {
+	n := len(h)
+	if n == 0 {
+		return false
+	}
+	if t.Kind(h[n-1]) != IP {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	if t.Kind(h[n-2]) != BottomMPLS {
+		return false
+	}
+	for i := 0; i < n-2; i++ {
+		if t.Kind(h[i]) != MPLS {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidOnTopOf reports whether pushing label id on top of a header whose
+// current top is top yields a valid header, per the side conditions of the
+// header rewrite function ℋ (Definition 3): a plain MPLS label may sit on
+// any MPLS label (plain or bottom); a bottom-of-stack label may only sit
+// directly on an IP label; an IP label may never be pushed.
+func ValidOnTopOf(t *Table, id, top ID) bool {
+	switch t.Kind(id) {
+	case MPLS:
+		k := t.Kind(top)
+		return k == MPLS || k == BottomMPLS
+	case BottomMPLS:
+		return t.Kind(top) == IP
+	default:
+		return false
+	}
+}

@@ -1,0 +1,111 @@
+// Package loc handles the router location metadata of Appendix A.2: a JSON
+// object mapping router names to latitude/longitude, used both for GUI
+// visualisation and for the physical-distance function of the Distance
+// atomic quantity.
+package loc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"aalwines/internal/network"
+	"aalwines/internal/topology"
+	"aalwines/internal/weight"
+)
+
+// Point is a geographic coordinate.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lng float64 `json:"lng"`
+}
+
+// Read parses a location file ({"R0": {"lat": 46.5, "lng": 7.3}, ...}) and
+// applies the coordinates to the network's routers. Unknown router names
+// are an error; routers without an entry keep their previous location.
+func Read(r io.Reader, net *network.Network) error {
+	var m map[string]Point
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return fmt.Errorf("loc: %w", err)
+	}
+	for name, p := range m {
+		id := net.Topo.RouterByName(name)
+		if id == topology.NoRouter {
+			return fmt.Errorf("loc: unknown router %q", name)
+		}
+		net.Topo.SetLocation(id, p.Lat, p.Lng)
+	}
+	return nil
+}
+
+// Write serialises the locations of all routers that have them, with keys
+// in sorted order for reproducible output.
+func Write(w io.Writer, net *network.Network) error {
+	m := map[string]Point{}
+	for i := range net.Topo.Routers {
+		r := &net.Topo.Routers[i]
+		if r.HasLoc {
+			m[r.Name] = Point{Lat: r.Lat, Lng: r.Lng}
+		}
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Stable output: encode as an ordered object by hand via RawMessage.
+	ordered := make(map[string]json.RawMessage, len(m))
+	for n, p := range m {
+		b, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		ordered[n] = b
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ordered)
+}
+
+// earthRadiusKm is the mean Earth radius.
+const earthRadiusKm = 6371.0
+
+// Haversine returns the great-circle distance between two points in
+// kilometres.
+func Haversine(a, b Point) float64 {
+	toRad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat := toRad(b.Lat - a.Lat)
+	dLng := toRad(b.Lng - a.Lng)
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(toRad(a.Lat))*math.Cos(toRad(b.Lat))*math.Sin(dLng/2)*math.Sin(dLng/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(s))
+}
+
+// DistanceFunc builds a weight.DistanceFunc from router locations: the
+// distance of a link is the great-circle distance between its endpoint
+// routers in kilometres (minimum 1 so that paths always cost something).
+// Links with unlocated endpoints fall back to the link weight annotation.
+func DistanceFunc(net *network.Network) weight.DistanceFunc {
+	g := net.Topo
+	cached := make([]uint64, g.NumLinks())
+	for i := range cached {
+		l := g.Links[i]
+		from, to := &g.Routers[l.From], &g.Routers[l.To]
+		if from.HasLoc && to.HasLoc {
+			d := Haversine(Point{from.Lat, from.Lng}, Point{to.Lat, to.Lng})
+			if d < 1 {
+				d = 1
+			}
+			cached[i] = uint64(d)
+		} else {
+			w := l.Weight
+			if w == 0 {
+				w = 1
+			}
+			cached[i] = w
+		}
+	}
+	return func(l topology.LinkID) uint64 { return cached[l] }
+}

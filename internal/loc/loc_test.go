@@ -1,0 +1,95 @@
+package loc_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"aalwines/internal/gen"
+	"aalwines/internal/loc"
+	"aalwines/internal/network"
+	"aalwines/internal/topology"
+	"aalwines/internal/weight"
+)
+
+func TestReadApplyWrite(t *testing.T) {
+	n := network.New("t")
+	n.Topo.AddRouter("R0")
+	n.Topo.AddRouter("R1")
+	in := `{ "R0": { "lat": 46.5, "lng": 7.3 }, "R1": { "lat": 55.7, "lng": 12.6 } }`
+	if err := loc.Read(strings.NewReader(in), n); err != nil {
+		t.Fatal(err)
+	}
+	r0 := n.Topo.Routers[0]
+	if !r0.HasLoc || r0.Lat != 46.5 || r0.Lng != 7.3 {
+		t.Fatalf("R0 location = %+v", r0)
+	}
+	var buf bytes.Buffer
+	if err := loc.Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"R0"`) || !strings.Contains(out, `"lat": 46.5`) {
+		t.Fatalf("Write output:\n%s", out)
+	}
+	// Round trip.
+	n2 := network.New("t2")
+	n2.Topo.AddRouter("R0")
+	n2.Topo.AddRouter("R1")
+	if err := loc.Read(&buf, n2); err != nil {
+		t.Fatal(err)
+	}
+	if n2.Topo.Routers[1].Lat != 55.7 {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	n := network.New("t")
+	n.Topo.AddRouter("R0")
+	if err := loc.Read(strings.NewReader(`{`), n); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if err := loc.Read(strings.NewReader(`{"nope": {"lat":1,"lng":2}}`), n); err == nil {
+		t.Error("unknown router accepted")
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	cph := loc.Point{Lat: 55.68, Lng: 12.57}
+	sto := loc.Point{Lat: 59.33, Lng: 18.06}
+	d := loc.Haversine(cph, sto)
+	// Copenhagen–Stockholm is roughly 520 km.
+	if d < 450 || d > 600 {
+		t.Errorf("CPH-STO = %.0f km, expected ≈520", d)
+	}
+	if z := loc.Haversine(cph, cph); z != 0 {
+		t.Errorf("self distance = %f", z)
+	}
+	// Symmetry.
+	if math.Abs(loc.Haversine(cph, sto)-loc.Haversine(sto, cph)) > 1e-9 {
+		t.Error("not symmetric")
+	}
+}
+
+func TestDistanceFunc(t *testing.T) {
+	s := gen.Nordunet(gen.NordOpts{Services: 1, Seed: 1})
+	df := loc.DistanceFunc(s.Net)
+	// Core links have located endpoints: distance ≥ 1 km.
+	anyOver100 := false
+	for i := 0; i < s.Net.Topo.NumLinks(); i++ {
+		d := df(topology.LinkID(i))
+		if d == 0 {
+			t.Fatalf("link %d has zero distance", i)
+		}
+		if d > 100 {
+			anyOver100 = true
+		}
+	}
+	if !anyOver100 {
+		t.Error("no link over 100 km in a Nordic backbone?")
+	}
+	// Distance quantity integrates with EvalTrace.
+	_ = weight.DistanceFunc(df)
+}

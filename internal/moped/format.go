@@ -1,0 +1,136 @@
+package moped
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"aalwines/internal/pds"
+)
+
+// WritePDS serialises a pushdown system in Moped's textual format:
+//
+//	(<state> <sym> --> <state'> <w>)
+//
+// with states written as pN, symbols as gN and w being zero, one or two
+// symbols. A header line "(numStates numSyms)" is prepended so the file is
+// self-describing for ReadPDS.
+func WritePDS(w io.Writer, p *pds.PDS) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# aalwines pds export\n(%d %d)\n", p.NumStates, p.NumSyms); err != nil {
+		return err
+	}
+	rules := append([]pds.Rule(nil), p.Rules...)
+	pds.SortRulesDeterministic(rules)
+	for _, r := range rules {
+		var rhs string
+		switch r.Kind {
+		case pds.PopRule:
+			rhs = ""
+		case pds.SwapRule:
+			rhs = fmt.Sprintf(" g%d", r.Sym1)
+		case pds.PushRule:
+			rhs = fmt.Sprintf(" g%d g%d", r.Sym1, r.Sym2)
+		}
+		if _, err := fmt.Fprintf(bw, "p%d g%d --> p%d%s\n", r.FromState, r.FromSym, r.ToState, rhs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPDS parses the format written by WritePDS.
+func ReadPDS(r io.Reader) (*pds.PDS, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var p *pds.PDS
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "(") {
+			line = strings.Trim(line, "()")
+			parts := strings.Fields(line)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("moped: line %d: bad header %q", lineNo, line)
+			}
+			ns, err1 := strconv.Atoi(parts[0])
+			sy, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("moped: line %d: bad header numbers", lineNo)
+			}
+			p = pds.New(ns, sy)
+			continue
+		}
+		if p == nil {
+			return nil, fmt.Errorf("moped: line %d: rule before header", lineNo)
+		}
+		lhsRHS := strings.SplitN(line, "-->", 2)
+		if len(lhsRHS) != 2 {
+			return nil, fmt.Errorf("moped: line %d: missing arrow", lineNo)
+		}
+		lhs := strings.Fields(lhsRHS[0])
+		rhs := strings.Fields(lhsRHS[1])
+		if len(lhs) != 2 || len(rhs) < 1 || len(rhs) > 3 {
+			return nil, fmt.Errorf("moped: line %d: malformed rule", lineNo)
+		}
+		fs, err := parseID(lhs[0], 'p')
+		if err != nil {
+			return nil, fmt.Errorf("moped: line %d: %v", lineNo, err)
+		}
+		fg, err := parseID(lhs[1], 'g')
+		if err != nil {
+			return nil, fmt.Errorf("moped: line %d: %v", lineNo, err)
+		}
+		ts, err := parseID(rhs[0], 'p')
+		if err != nil {
+			return nil, fmt.Errorf("moped: line %d: %v", lineNo, err)
+		}
+		rule := pds.Rule{
+			FromState: pds.State(fs), FromSym: pds.Sym(fg), ToState: pds.State(ts),
+		}
+		switch len(rhs) {
+		case 1:
+			rule.Kind = pds.PopRule
+		case 2:
+			g1, err := parseID(rhs[1], 'g')
+			if err != nil {
+				return nil, fmt.Errorf("moped: line %d: %v", lineNo, err)
+			}
+			rule.Kind = pds.SwapRule
+			rule.Sym1 = pds.Sym(g1)
+		case 3:
+			g1, err := parseID(rhs[1], 'g')
+			if err != nil {
+				return nil, fmt.Errorf("moped: line %d: %v", lineNo, err)
+			}
+			g2, err := parseID(rhs[2], 'g')
+			if err != nil {
+				return nil, fmt.Errorf("moped: line %d: %v", lineNo, err)
+			}
+			rule.Kind = pds.PushRule
+			rule.Sym1 = pds.Sym(g1)
+			rule.Sym2 = pds.Sym(g2)
+		}
+		p.AddRule(rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("moped: empty input")
+	}
+	return p, nil
+}
+
+func parseID(tok string, prefix byte) (int, error) {
+	if len(tok) < 2 || tok[0] != prefix {
+		return 0, fmt.Errorf("expected %c-prefixed id, got %q", prefix, tok)
+	}
+	return strconv.Atoi(tok[1:])
+}

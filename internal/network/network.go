@@ -1,0 +1,278 @@
+// Package network ties the topology, label and routing models together into
+// the MPLS network of Definition 2 and implements network traces
+// (Definition 4): packet routings as sequences of link/header pairs, a
+// small forwarding simulator, and the polynomial-time feasibility check for
+// a fixed trace under at most k link failures used by the verification
+// pipeline (§4.2 of the paper).
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aalwines/internal/labels"
+	"aalwines/internal/routing"
+	"aalwines/internal/topology"
+)
+
+// Network is an MPLS network N = (V, E, s, t, L, τ).
+type Network struct {
+	Name    string
+	Topo    *topology.Graph
+	Labels  *labels.Table
+	Routing *routing.Table
+}
+
+// New returns an empty network with fresh topology, label table and routing
+// table.
+func New(name string) *Network {
+	return &Network{
+		Name:    name,
+		Topo:    topology.New(),
+		Labels:  labels.NewTable(),
+		Routing: routing.NewTable(),
+	}
+}
+
+// Step is one element of a trace: the packet sits on link Link carrying
+// header Header (the header after the link was traversed).
+type Step struct {
+	Link   topology.LinkID
+	Header labels.Header
+}
+
+// Trace is a network trace (e1,h1)(e2,h2)...(en,hn).
+type Trace []Step
+
+// Format renders a trace in the paper's notation, e.g.
+// "(e0, ip1) (e1, s20 ∘ ip1) ...".
+func (tr Trace) Format(n *Network) string {
+	parts := make([]string, len(tr))
+	for i, s := range tr {
+		parts[i] = fmt.Sprintf("(%s, %s)", n.Topo.LinkName(s.Link), s.Header.Format(n.Labels))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Links returns the link sequence e1...en of the trace.
+func (tr Trace) Links() []topology.LinkID {
+	out := make([]topology.LinkID, len(tr))
+	for i, s := range tr {
+		out[i] = s.Link
+	}
+	return out
+}
+
+// FailedSet is a set of failed links.
+type FailedSet map[topology.LinkID]bool
+
+// Has reports membership; usable directly as the failure predicate of
+// routing.Table.Active.
+func (f FailedSet) Has(l topology.LinkID) bool { return f[l] }
+
+// Sorted returns the failed links in ascending order.
+func (f FailedSet) Sorted() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(f))
+	for l := range f {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Succ is one possible forwarding successor: the next link, the header
+// after the rewrite, the 0-based priority group index the entry came from,
+// and the links that must have failed for that group to be selected.
+type Succ struct {
+	Link     topology.LinkID
+	Header   labels.Header
+	Group    int
+	MustFail []topology.LinkID
+}
+
+// Successors returns all possible next steps for a packet that arrived on
+// link on carrying header h, under failed links f (nil means no failures).
+// Entries whose header rewrite is undefined are skipped: such packets are
+// dropped by the dataplane.
+func (n *Network) Successors(on topology.LinkID, h labels.Header, f FailedSet) []Succ {
+	if len(h) == 0 {
+		return nil
+	}
+	failed := func(l topology.LinkID) bool { return f != nil && f[l] }
+	entries, group, mustFail, ok := n.Routing.Active(on, h.Top(), failed)
+	if !ok {
+		return nil
+	}
+	var out []Succ
+	for _, e := range entries {
+		nh, err := routing.Rewrite(n.Labels, h, e.Ops)
+		if err != nil {
+			continue
+		}
+		out = append(out, Succ{Link: e.Out, Header: nh, Group: group, MustFail: mustFail})
+	}
+	return out
+}
+
+// ValidTrace checks that tr is a trace of the network under the exact
+// failed-link set f, per Definition 4: every traversed link is active and
+// every consecutive pair is justified by an active routing entry.
+func (n *Network) ValidTrace(tr Trace, f FailedSet) error {
+	for i, s := range tr {
+		if f != nil && f[s.Link] {
+			return fmt.Errorf("step %d traverses failed link %s", i, n.Topo.LinkName(s.Link))
+		}
+		if !s.Header.Valid(n.Labels) {
+			return fmt.Errorf("step %d has invalid header %s", i, s.Header.Format(n.Labels))
+		}
+		if i == 0 {
+			continue
+		}
+		prev := tr[i-1]
+		found := false
+		for _, succ := range n.Successors(prev.Link, prev.Header, f) {
+			if succ.Link == s.Link && succ.Header.Equal(s.Header) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("step %d: no active routing entry justifies %s -> %s",
+				i, n.Topo.LinkName(prev.Link), n.Topo.LinkName(s.Link))
+		}
+	}
+	return nil
+}
+
+// Feasibility is the verdict of the fixed-trace feasibility check.
+type Feasibility struct {
+	// Feasible reports whether some failed set F with |F| ≤ k makes the
+	// trace valid.
+	Feasible bool
+	// Failed is a minimum-cardinality such F when Feasible.
+	Failed FailedSet
+}
+
+// Feasible decides, in time polynomial in the trace length, whether there
+// exists a failed-link set F with |F| ≤ k under which tr is a valid trace
+// (the trace reconstruction step of §4.2). It searches over the per-step
+// choice of priority group, accumulating the links that must fail and
+// pruning branches that exceed k or that would fail a traversed link.
+func (n *Network) Feasible(tr Trace, k int) Feasibility {
+	if len(tr) == 0 {
+		return Feasibility{Feasible: true, Failed: FailedSet{}}
+	}
+	traversed := make(FailedSet, len(tr))
+	for _, s := range tr {
+		traversed[s.Link] = true
+	}
+	// candidates[i] = possible must-fail link sets justifying step i -> i+1.
+	candidates := make([][][]topology.LinkID, 0, len(tr)-1)
+	for i := 0; i+1 < len(tr); i++ {
+		cur, next := tr[i], tr[i+1]
+		if len(cur.Header) == 0 {
+			return Feasibility{}
+		}
+		gs := n.Routing.Lookup(cur.Link, cur.Header.Top())
+		var opts [][]topology.LinkID
+	group:
+		for j, g := range gs {
+			for _, e := range g.Entries {
+				if e.Out != next.Link {
+					continue
+				}
+				nh, err := routing.Rewrite(n.Labels, cur.Header, e.Ops)
+				if err != nil || !nh.Equal(next.Header) {
+					continue
+				}
+				prefix := gs.PrefixLinks(j)
+				for _, l := range prefix {
+					if traversed[l] {
+						continue group // would fail a traversed link
+					}
+				}
+				opts = append(opts, prefix)
+				continue group // one matching entry per group suffices
+			}
+		}
+		if len(opts) == 0 {
+			return Feasibility{}
+		}
+		candidates = append(candidates, opts)
+	}
+	// Greedy-first search: try candidate sets in ascending size order with
+	// branch-and-bound on |F|. The number of groups per rule is tiny in
+	// practice, so this is effectively linear.
+	for i := range candidates {
+		sort.Slice(candidates[i], func(a, b int) bool {
+			return len(candidates[i][a]) < len(candidates[i][b])
+		})
+	}
+	best := FailedSet(nil)
+	var search func(step int, acc FailedSet)
+	search = func(step int, acc FailedSet) {
+		if len(acc) > k {
+			return
+		}
+		if best != nil && len(acc) >= len(best) {
+			return // cannot improve on the best solution found so far
+		}
+		if step == len(candidates) {
+			cp := make(FailedSet, len(acc))
+			for l := range acc {
+				cp[l] = true
+			}
+			best = cp
+			return
+		}
+		for _, opt := range candidates[step] {
+			added := make([]topology.LinkID, 0, len(opt))
+			for _, l := range opt {
+				if !acc[l] {
+					acc[l] = true
+					added = append(added, l)
+				}
+			}
+			search(step+1, acc)
+			for _, l := range added {
+				delete(acc, l)
+			}
+		}
+	}
+	search(0, FailedSet{})
+	if best == nil {
+		return Feasibility{}
+	}
+	return Feasibility{Feasible: true, Failed: best}
+}
+
+// Enumerate performs a bounded breadth-first enumeration of traces starting
+// from (start, h) under failed set f, visiting traces of length up to
+// maxLen and invoking visit for each. visit returning false stops the
+// enumeration early. Enumerate is a testing and example aid, not the
+// verification engine; its state space is exponential and it exists to
+// cross-check engine witnesses on small networks.
+func (n *Network) Enumerate(start topology.LinkID, h labels.Header, f FailedSet, maxLen int, visit func(Trace) bool) {
+	type node struct {
+		tr Trace
+	}
+	queue := []node{{Trace{{Link: start, Header: h.Clone()}}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !visit(cur.tr) {
+			return
+		}
+		if len(cur.tr) >= maxLen {
+			continue
+		}
+		last := cur.tr[len(cur.tr)-1]
+		for _, s := range n.Successors(last.Link, last.Header, f) {
+			next := make(Trace, len(cur.tr), len(cur.tr)+1)
+			copy(next, cur.tr)
+			next = append(next, Step{Link: s.Link, Header: s.Header})
+			queue = append(queue, node{next})
+		}
+	}
+}

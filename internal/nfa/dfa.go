@@ -1,0 +1,187 @@
+package nfa
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Minterms computes the atomic partition of the universe induced by the
+// distinct arc sets of the automaton: the coarsest partition such that each
+// arc set is a union of blocks. Subset construction can then treat every
+// block as a single alphabet symbol. The result always covers the whole
+// universe (symbols mentioned by no arc end up in a "rest" block).
+func (a *NFA) Minterms() []*Set {
+	blocks := []*Set{FullSet(a.universe)}
+	seen := map[string]bool{}
+	for s := range a.arcs {
+		for _, arc := range a.arcs[s] {
+			k := arc.Set.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			var next []*Set
+			for _, b := range blocks {
+				in := b.Inter(arc.Set)
+				out := b.Minus(arc.Set)
+				if !in.IsEmpty() {
+					next = append(next, in)
+				}
+				if !out.IsEmpty() {
+					next = append(next, out)
+				}
+			}
+			blocks = next
+		}
+	}
+	return blocks
+}
+
+// Determinize performs subset construction over the minterm alphabet and
+// returns a complete deterministic automaton (every state has exactly one
+// successor per minterm; a non-accepting sink absorbs missing transitions).
+// The result has no epsilon transitions and deterministic, disjoint arc
+// sets per state.
+func (a *NFA) Determinize() *NFA {
+	minterms := a.Minterms()
+	out := New(a.universe)
+	// out's state 0 is the DFA start.
+	type key = string
+	idx := map[key]State{}
+	mkKey := func(states []State) key {
+		parts := make([]string, len(states))
+		for i, s := range states {
+			parts[i] = strconv.Itoa(s)
+		}
+		return strings.Join(parts, ",")
+	}
+	startSet := a.EpsClosure(a.start)
+	idx[mkKey(startSet)] = out.Start()
+	setAccept := func(d State, states []State) {
+		for _, s := range states {
+			if a.accept[s] {
+				out.SetAccept(d, true)
+				return
+			}
+		}
+	}
+	setAccept(out.Start(), startSet)
+	type item struct {
+		d      State
+		states []State
+	}
+	queue := []item{{out.Start(), startSet}}
+	sink := State(-1)
+	getSink := func() State {
+		if sink < 0 {
+			sink = out.AddState()
+			for _, mt := range minterms {
+				out.AddArc(sink, mt, sink)
+			}
+		}
+		return sink
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, mt := range minterms {
+			// All symbols of a minterm behave identically; step on any one.
+			x, ok := mt.First()
+			var succ []State
+			if ok {
+				succ = a.Step(cur.states, x)
+			}
+			if len(succ) == 0 {
+				out.AddArc(cur.d, mt, getSink())
+				continue
+			}
+			k := mkKey(succ)
+			d, ok2 := idx[k]
+			if !ok2 {
+				d = out.AddState()
+				idx[k] = d
+				setAccept(d, succ)
+				queue = append(queue, item{d, succ})
+			}
+			out.AddArc(cur.d, mt, d)
+		}
+	}
+	if a.universe == 0 {
+		// Degenerate: no symbols at all; acceptance is decided by the start.
+		return out
+	}
+	return out
+}
+
+// Complement returns an automaton accepting exactly the words the receiver
+// rejects. The receiver may be any NFA; it is determinized first.
+func (a *NFA) Complement() *NFA {
+	d := a.Determinize()
+	for s := range d.accept {
+		d.accept[s] = !d.accept[s]
+	}
+	return d
+}
+
+// Product returns an automaton for the intersection of two languages over
+// the same universe, built as the synchronous product of the epsilon-free
+// forms.
+func Product(a, b *NFA) *NFA {
+	af, bf := a.EpsFree(), b.EpsFree()
+	out := New(a.universe)
+	type pair struct{ x, y State }
+	idx := map[pair]State{}
+	get := func(p pair) State {
+		if s, ok := idx[p]; ok {
+			return s
+		}
+		var s State
+		if len(idx) == 0 {
+			s = out.Start()
+		} else {
+			s = out.AddState()
+		}
+		idx[p] = s
+		out.SetAccept(s, af.Accepting(p.x) && bf.Accepting(p.y))
+		return s
+	}
+	startP := pair{af.Start(), bf.Start()}
+	get(startP)
+	queue := []pair{startP}
+	done := map[pair]bool{startP: true}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		ps := idx[p]
+		for _, ax := range af.Arcs(p.x) {
+			for _, bx := range bf.Arcs(p.y) {
+				inter := ax.Set.Inter(bx.Set)
+				if inter.IsEmpty() {
+					continue
+				}
+				np := pair{ax.To, bx.To}
+				ns := get(np)
+				out.AddArc(ps, inter, ns)
+				if !done[np] {
+					done[np] = true
+					queue = append(queue, np)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SortedArcs returns the arcs of s ordered by target then set key; useful
+// for deterministic output in tests and serialisation.
+func (a *NFA) SortedArcs(s State) []Arc {
+	arcs := append([]Arc(nil), a.arcs[s]...)
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].To != arcs[j].To {
+			return arcs[i].To < arcs[j].To
+		}
+		return arcs[i].Set.Key() < arcs[j].Set.Key()
+	})
+	return arcs
+}

@@ -1,0 +1,355 @@
+package nfa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(130)
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Len() != 3 || !s.Has(0) || !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Fatalf("membership broken: %v", s.Members())
+	}
+	if s.Has(1000) {
+		t.Fatal("Has out of range returned true")
+	}
+}
+
+func TestSetAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSet(4).Add(4)
+}
+
+func TestSetOps(t *testing.T) {
+	a := SetOf(100, 1, 2, 3)
+	b := SetOf(100, 3, 4)
+	if got := a.Union(b).Members(); len(got) != 4 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Inter(b).Members(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Inter = %v", got)
+	}
+	if got := a.Minus(b).Members(); len(got) != 2 {
+		t.Errorf("Minus = %v", got)
+	}
+	c := a.Complement()
+	if c.Has(1) || !c.Has(0) || !c.Has(99) || c.Len() != 97 {
+		t.Errorf("Complement wrong: len=%d", c.Len())
+	}
+}
+
+func TestFullSetTrimmed(t *testing.T) {
+	f := FullSet(70)
+	if f.Len() != 70 {
+		t.Fatalf("FullSet(70).Len = %d", f.Len())
+	}
+	if f.Has(70) || f.Has(127) {
+		t.Fatal("FullSet contains out-of-universe symbols")
+	}
+	// Complement of full is empty even in the partial last word.
+	if !f.Complement().IsEmpty() {
+		t.Fatal("Complement(Full) not empty")
+	}
+}
+
+// Property: set algebra laws via random membership vectors.
+func TestSetAlgebraProperty(t *testing.T) {
+	const n = 80
+	mk := func(xs []uint16) *Set {
+		s := NewSet(n)
+		for _, x := range xs {
+			s.Add(Sym(x) % n)
+		}
+		return s
+	}
+	f := func(xs, ys []uint16) bool {
+		a, b := mk(xs), mk(ys)
+		// De Morgan: ¬(a ∪ b) == ¬a ∩ ¬b
+		if !a.Union(b).Complement().Equal(a.Complement().Inter(b.Complement())) {
+			return false
+		}
+		// a \ b == a ∩ ¬b
+		if !a.Minus(b).Equal(a.Inter(b.Complement())) {
+			return false
+		}
+		// Double complement
+		if !a.Complement().Complement().Equal(a) {
+			return false
+		}
+		// Key equality coincides with Equal
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetEachEarlyStopAndFirst(t *testing.T) {
+	s := SetOf(100, 5, 10, 15)
+	count := 0
+	s.Each(func(Sym) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("Each visited %d, want 2", count)
+	}
+	if x, ok := s.First(); !ok || x != 5 {
+		t.Fatalf("First = %d,%v", x, ok)
+	}
+	if _, ok := NewSet(10).First(); ok {
+		t.Fatal("First on empty reported ok")
+	}
+}
+
+// buildAB returns an NFA over universe {0,1} accepting the language a*b
+// (0=a, 1=b).
+func buildAB() *NFA {
+	a := New(2)
+	fin := a.AddState()
+	a.AddArc(a.Start(), SetOf(2, 0), a.Start())
+	a.AddArc(a.Start(), SetOf(2, 1), fin)
+	a.SetAccept(fin, true)
+	return a
+}
+
+func TestNFAAccepts(t *testing.T) {
+	a := buildAB()
+	cases := []struct {
+		w    []Sym
+		want bool
+	}{
+		{[]Sym{1}, true},
+		{[]Sym{0, 1}, true},
+		{[]Sym{0, 0, 0, 1}, true},
+		{[]Sym{}, false},
+		{[]Sym{0}, false},
+		{[]Sym{1, 0}, false},
+		{[]Sym{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := a.Accepts(c.w); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestEpsClosureAndEpsFree(t *testing.T) {
+	a := New(2)
+	s1 := a.AddState()
+	s2 := a.AddState()
+	a.AddEps(a.Start(), s1)
+	a.AddEps(s1, s2)
+	a.AddArc(s2, SetOf(2, 1), s2)
+	a.SetAccept(s2, true)
+	cl := a.EpsClosure(a.Start())
+	if len(cl) != 3 {
+		t.Fatalf("closure = %v", cl)
+	}
+	f := a.EpsFree()
+	if !f.Accepting(f.Start()) {
+		t.Error("EpsFree lost acceptance via closure")
+	}
+	if !f.Accepts([]Sym{1, 1}) || f.Accepts([]Sym{0}) {
+		t.Error("EpsFree changed the language")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	a := New(2)
+	if !a.Empty() {
+		t.Error("no-accept automaton not Empty")
+	}
+	fin := a.AddState()
+	a.AddArc(a.Start(), SetOf(2, 0), fin)
+	a.SetAccept(fin, true)
+	if a.Empty() {
+		t.Error("reachable accept reported Empty")
+	}
+	// Unreachable accepting state.
+	b := New(2)
+	orphan := b.AddState()
+	b.SetAccept(orphan, true)
+	if !b.Empty() {
+		t.Error("unreachable accept not Empty")
+	}
+}
+
+func TestMintermsPartitionUniverse(t *testing.T) {
+	a := New(10)
+	fin := a.AddState()
+	a.AddArc(a.Start(), SetOf(10, 1, 2, 3), fin)
+	a.AddArc(a.Start(), SetOf(10, 3, 4), fin)
+	a.SetAccept(fin, true)
+	mts := a.Minterms()
+	// Blocks must be disjoint and cover the universe.
+	cover := NewSet(10)
+	for i, m := range mts {
+		for j := i + 1; j < len(mts); j++ {
+			if !m.Inter(mts[j]).IsEmpty() {
+				t.Fatalf("minterms %d and %d overlap", i, j)
+			}
+		}
+		cover = cover.Union(m)
+	}
+	if !cover.Equal(FullSet(10)) {
+		t.Fatal("minterms do not cover the universe")
+	}
+	// {1,2}, {3}, {4}, rest = 4 blocks.
+	if len(mts) != 4 {
+		t.Fatalf("got %d minterms, want 4", len(mts))
+	}
+}
+
+func TestDeterminizePreservesLanguage(t *testing.T) {
+	a := buildAB()
+	d := a.Determinize()
+	words := [][]Sym{{}, {0}, {1}, {0, 1}, {1, 0}, {0, 0, 1}, {1, 1}, {0, 1, 1}}
+	for _, w := range words {
+		if a.Accepts(w) != d.Accepts(w) {
+			t.Errorf("DFA differs from NFA on %v", w)
+		}
+	}
+}
+
+func TestDeterminizeIsDeterministicAndComplete(t *testing.T) {
+	a := buildAB()
+	d := a.Determinize()
+	for s := 0; s < d.NumStates(); s++ {
+		cover := NewSet(2)
+		for _, arc := range d.Arcs(s) {
+			if !cover.Inter(arc.Set).IsEmpty() {
+				t.Fatalf("state %d has overlapping arcs", s)
+			}
+			cover = cover.Union(arc.Set)
+		}
+		if !cover.Equal(FullSet(2)) {
+			t.Fatalf("state %d is not complete", s)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	a := buildAB()
+	c := a.Complement()
+	words := [][]Sym{{}, {0}, {1}, {0, 1}, {1, 0}, {0, 0, 1}, {1, 1}}
+	for _, w := range words {
+		if a.Accepts(w) == c.Accepts(w) {
+			t.Errorf("complement agrees with original on %v", w)
+		}
+	}
+}
+
+func TestProduct(t *testing.T) {
+	// L1 = a*b, L2 = words of length exactly 2 => intersection = {ab}.
+	l1 := buildAB()
+	l2 := New(2)
+	m := l2.AddState()
+	fin := l2.AddState()
+	l2.AddArc(l2.Start(), FullSet(2), m)
+	l2.AddArc(m, FullSet(2), fin)
+	l2.SetAccept(fin, true)
+	p := Product(l1, l2)
+	if !p.Accepts([]Sym{0, 1}) {
+		t.Error("product rejects ab")
+	}
+	for _, w := range [][]Sym{{1}, {0, 0}, {1, 1}, {0, 0, 1}} {
+		if p.Accepts(w) {
+			t.Errorf("product accepts %v", w)
+		}
+	}
+}
+
+func TestProductEmptyIntersection(t *testing.T) {
+	onlyA := New(2)
+	fa := onlyA.AddState()
+	onlyA.AddArc(onlyA.Start(), SetOf(2, 0), fa)
+	onlyA.SetAccept(fa, true)
+	onlyB := New(2)
+	fb := onlyB.AddState()
+	onlyB.AddArc(onlyB.Start(), SetOf(2, 1), fb)
+	onlyB.SetAccept(fb, true)
+	if p := Product(onlyA, onlyB); !p.Empty() {
+		t.Error("intersection of {a} and {b} not empty")
+	}
+}
+
+// Property: determinize+complement twice gives back the original language
+// on random short words.
+func TestDoubleComplementProperty(t *testing.T) {
+	a := buildAB()
+	cc := a.Complement().Complement()
+	f := func(w []bool) bool {
+		word := make([]Sym, len(w))
+		for i, b := range w {
+			if b {
+				word[i] = 1
+			}
+		}
+		return a.Accepts(word) == cc.Accepts(word)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	a := buildAB()
+	m := a.Minimize()
+	words := [][]Sym{{}, {0}, {1}, {0, 1}, {1, 0}, {0, 0, 1}, {1, 1}, {0, 1, 1}, {0, 0, 0, 1}}
+	for _, w := range words {
+		if a.Accepts(w) != m.Accepts(w) {
+			t.Errorf("minimized automaton differs on %v", w)
+		}
+	}
+}
+
+func TestMinimizeReducesRedundantStates(t *testing.T) {
+	// Build a bloated automaton for the language {a}: several duplicated
+	// accepting states reachable on 'a'.
+	a := New(2)
+	for i := 0; i < 5; i++ {
+		f := a.AddState()
+		a.AddArc(a.Start(), SetOf(2, 0), f)
+		a.SetAccept(f, true)
+	}
+	m := a.Minimize()
+	// Minimal complete DFA for {a} over a 2-symbol alphabet: start, accept,
+	// sink = 3 states.
+	if m.NumStates() > 3 {
+		t.Fatalf("minimized to %d states, want ≤ 3", m.NumStates())
+	}
+	if !m.Accepts([]Sym{0}) || m.Accepts([]Sym{1}) || m.Accepts([]Sym{0, 0}) {
+		t.Fatal("language changed")
+	}
+}
+
+// Property: minimization is idempotent and preserves the language on random
+// words.
+func TestMinimizeProperty(t *testing.T) {
+	inner := Product(buildAB().Complement(), buildAB().Determinize().Complement())
+	m1 := inner.Minimize()
+	m2 := m1.Minimize()
+	if m2.NumStates() != m1.NumStates() {
+		t.Fatalf("not idempotent: %d -> %d states", m1.NumStates(), m2.NumStates())
+	}
+	f := func(raw []bool) bool {
+		w := make([]Sym, len(raw))
+		for i, b := range raw {
+			if b {
+				w[i] = 1
+			}
+		}
+		return inner.Accepts(w) == m1.Accepts(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+package pds
+
+import (
+	"fmt"
+
+	"aalwines/internal/nfa"
+)
+
+// Trans identifies a P-automaton transition (From --Sym--> To). Sym is
+// either a concrete stack symbol (< NumSyms of the PDS), the Eps marker, or
+// a virtual symbol (>= NumSyms) standing for a whole symbol set — virtual
+// symbols let an initial automaton carry transitions like "any smpls label"
+// without materialising one edge per label.
+type Trans struct {
+	From State
+	Sym  Sym
+	To   State
+}
+
+// WitKind classifies how a transition entered the saturated automaton.
+type WitKind uint8
+
+const (
+	// WitInitial marks transitions copied from the input automaton.
+	WitInitial WitKind = iota
+	// WitRule marks transitions created by applying a pop/swap rule, or
+	// the first transition (p′,γ′,q_r) of a push rule.
+	WitRule
+	// WitPushB marks the second transition (q_r,γ″,q) of a push rule.
+	WitPushB
+	// WitCombine marks transitions created by composing an epsilon
+	// transition with a following transition.
+	WitCombine
+)
+
+// Witness is an immutable derivation record: it explains how the transition
+// T obtained its (then-current) weight. Records only reference records that
+// existed when they were created, so the record graph is acyclic and
+// backward reconstruction terminates.
+type Witness struct {
+	Kind WitKind
+	Rule int32 // rule index for WitRule/WitPushB, -1 otherwise
+	T    Trans
+	// PredSym is the concrete stack symbol the rule consumed from the head
+	// transition (Pred1). It matters when Pred1 is a virtual set edge: the
+	// derivation fixed one concrete member.
+	PredSym Sym
+	Pred1   *Witness // head transition record (WitRule/WitPushB); ε record (WitCombine)
+	Pred2   *Witness // following transition record (WitCombine)
+	Weight  []uint64 // the weight this record establishes for T
+}
+
+// Edge is an outgoing P-automaton transition with its best weight and the
+// witness record that established it.
+type Edge struct {
+	Sym    Sym
+	To     State
+	Weight []uint64
+	Wit    *Witness
+}
+
+// Auto is a P-automaton: an NFA whose states include the control states of
+// a PDS (indices [0, PDSStates)) plus any number of extra states. It
+// represents a regular set of configurations: ⟨p, w⟩ is accepted iff the
+// automaton reads w from state p into an accepting state.
+type Auto struct {
+	PDSStates int
+	NumSyms   int // concrete stack alphabet size; virtual symbols follow
+	numStates int
+	accept    []bool
+	out       [][]Edge
+	index     map[Trans]int32
+	sets      []*nfa.Set     // virtual symbol table
+	setIdx    map[string]Sym // set key -> virtual symbol
+}
+
+// NewAuto returns an automaton whose first n states mirror the PDS control
+// states, with no transitions and no accepting states.
+func NewAuto(p *PDS) *Auto {
+	n := p.NumStates
+	return &Auto{
+		PDSStates: n,
+		NumSyms:   p.NumSyms,
+		numStates: n,
+		accept:    make([]bool, n),
+		out:       make([][]Edge, n),
+		index:     make(map[Trans]int32),
+		setIdx:    make(map[string]Sym),
+	}
+}
+
+// AddState appends a fresh non-accepting extra state.
+func (a *Auto) AddState() State {
+	a.numStates++
+	a.accept = append(a.accept, false)
+	a.out = append(a.out, nil)
+	return State(a.numStates - 1)
+}
+
+// NumStates returns the total number of states.
+func (a *Auto) NumStates() int { return a.numStates }
+
+// SetAccept marks s accepting.
+func (a *Auto) SetAccept(s State, v bool) { a.accept[s] = v }
+
+// Accepting reports whether s is accepting.
+func (a *Auto) Accepting(s State) bool { return a.accept[s] }
+
+// Out returns the outgoing edges of s; the slice is shared.
+func (a *Auto) Out(s State) []Edge { return a.out[s] }
+
+// NumTrans returns the total number of transitions.
+func (a *Auto) NumTrans() int { return len(a.index) }
+
+// Get returns the edge for t and whether it exists.
+func (a *Auto) Get(t Trans) (Edge, bool) {
+	if i, ok := a.index[t]; ok {
+		return a.out[t.From][i], true
+	}
+	return Edge{}, false
+}
+
+// SymSet resolves a transition symbol: for a virtual symbol it returns the
+// underlying set; for a concrete symbol or Eps it returns nil.
+func (a *Auto) SymSet(s Sym) *nfa.Set {
+	if s == Eps || int(s) < a.NumSyms {
+		return nil
+	}
+	return a.sets[int(s)-a.NumSyms]
+}
+
+// VirtualSym interns a symbol set and returns its virtual symbol. Equal
+// sets share one virtual symbol.
+func (a *Auto) VirtualSym(set *nfa.Set) Sym {
+	k := set.Key()
+	if s, ok := a.setIdx[k]; ok {
+		return s
+	}
+	s := Sym(a.NumSyms + len(a.sets))
+	a.sets = append(a.sets, set)
+	a.setIdx[k] = s
+	return s
+}
+
+// Matches reports whether an edge symbol admits the concrete stack symbol c.
+func (a *Auto) Matches(edgeSym, c Sym) bool {
+	if edgeSym == Eps {
+		return false
+	}
+	if set := a.SymSet(edgeSym); set != nil {
+		return set.Has(nfa.Sym(c))
+	}
+	return edgeSym == c
+}
+
+// Insert adds or updates a transition with the given weight and witness.
+// It reports whether the transition is new or its weight strictly improved
+// (lexicographically). A nil weight means "unweighted": then only novelty
+// counts.
+func (a *Auto) Insert(t Trans, w []uint64, wit *Witness) bool {
+	if i, ok := a.index[t]; ok {
+		e := &a.out[t.From][i]
+		if w == nil || !lexLess(w, e.Weight) {
+			return false
+		}
+		e.Weight = w
+		e.Wit = wit
+		return true
+	}
+	a.index[t] = int32(len(a.out[t.From]))
+	a.out[t.From] = append(a.out[t.From], Edge{Sym: t.Sym, To: t.To, Weight: w, Wit: wit})
+	return true
+}
+
+// AddEdge inserts an initial (pre-saturation) transition over a concrete
+// symbol. Initial automata used as post* input must not have transitions
+// into PDS control states.
+func (a *Auto) AddEdge(from State, sym Sym, to State) {
+	t := Trans{from, sym, to}
+	a.Insert(t, nil, &Witness{Kind: WitInitial, Rule: -1, T: t})
+}
+
+// AddEdgeW inserts an initial transition carrying a weight.
+func (a *Auto) AddEdgeW(from State, sym Sym, to State, w []uint64) {
+	t := Trans{from, sym, to}
+	a.Insert(t, w, &Witness{Kind: WitInitial, Rule: -1, T: t, Weight: w})
+}
+
+// AddSetEdge inserts an initial transition that admits every symbol in set.
+func (a *Auto) AddSetEdge(from State, set *nfa.Set, to State, w []uint64) {
+	if set.IsEmpty() {
+		return
+	}
+	t := Trans{from, a.VirtualSym(set), to}
+	a.Insert(t, w, &Witness{Kind: WitInitial, Rule: -1, T: t, Weight: w})
+}
+
+// AcceptsConfig reports whether the automaton accepts ⟨c.State, c.Stack⟩,
+// traversing epsilon transitions.
+func (a *Auto) AcceptsConfig(c Config) bool {
+	cur := a.epsClosure([]State{c.State})
+	for _, sym := range c.Stack {
+		var next []State
+		seen := map[State]bool{}
+		for _, s := range cur {
+			for _, e := range a.out[s] {
+				if a.Matches(e.Sym, sym) && !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		cur = a.epsClosure(next)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, s := range cur {
+		if a.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Auto) epsClosure(states []State) []State {
+	seen := make(map[State]bool, len(states))
+	out := make([]State, 0, len(states))
+	stack := append([]State(nil), states...)
+	for _, s := range states {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, s)
+		for _, e := range a.out[s] {
+			if e.Sym == Eps && !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the post* input requirement: no transitions into control
+// states.
+func (a *Auto) Validate() error {
+	for s := range a.out {
+		for _, e := range a.out[s] {
+			if int(e.To) < a.PDSStates {
+				return fmt.Errorf("pds: initial automaton has transition into control state %d", e.To)
+			}
+		}
+	}
+	return nil
+}
+
+// lexLess reports strict lexicographic order; nil is +∞ (worse than any
+// proper vector), and equal-length proper vectors compare element-wise.
+func lexLess(a, b []uint64) bool {
+	if a == nil {
+		return false
+	}
+	if b == nil {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// lexAdd returns the component-wise sum, treating nil as the neutral
+// all-zeros vector of the other operand's length.
+func lexAdd(a, b []uint64) []uint64 {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

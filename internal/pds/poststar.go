@@ -1,0 +1,454 @@
+package pds
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"aalwines/internal/nfa"
+)
+
+// Result is a saturated P-automaton together with the PDS that produced it.
+// Dim is the weight vector dimension (0 for unweighted runs).
+type Result struct {
+	PDS  *PDS
+	Auto *Auto
+	Dim  int
+	// Mids maps push-rule mid states back to their (state, symbol) key;
+	// diagnostic only.
+	Mids map[State][2]uint32
+}
+
+// Poststar computes post*(L(init)): the saturated automaton accepts exactly
+// the configurations reachable from configurations accepted by init. The
+// input automaton must have no transitions into control states; it is
+// mutated in place and becomes the result automaton.
+//
+// When dim > 0 the computation is the weighted post* of Reps et al.: rule
+// weights (vectors of length dim, nil meaning the neutral all-zeros) are
+// accumulated, every transition keeps its lexicographically minimal weight,
+// and witness records always describe a derivation achieving the stored
+// weight.
+func Poststar(p *PDS, init *Auto, dim int) (*Result, error) {
+	return PoststarBudget(p, init, dim, 0)
+}
+
+// ErrBudget is returned by PoststarBudget when the work budget is
+// exhausted; it plays the role of the experiment timeout.
+var ErrBudget = errors.New("pds: post* work budget exhausted")
+
+// PoststarBudget is Poststar with a cooperative work budget: a positive
+// budget bounds the number of worklist pops before the computation aborts
+// with ErrBudget.
+func PoststarBudget(p *PDS, init *Auto, dim int, budget int64) (*Result, error) {
+	if err := init.Validate(); err != nil {
+		return nil, err
+	}
+	a := init
+	one := func() []uint64 {
+		if dim == 0 {
+			return nil
+		}
+		return make([]uint64, dim)
+	}
+	if dim > 0 {
+		// Normalise initial transitions: a nil weight means the semiring
+		// one (no cost), but Insert's improvement test reads nil as +∞ —
+		// an unweighted edge could then be "improved" by a rule-derived
+		// weight, corrupting minimality. Give every weightless initial
+		// edge an explicit zero vector.
+		for s := 0; s < a.NumStates(); s++ {
+			out := a.out[s]
+			for i := range out {
+				if out[i].Weight == nil {
+					out[i].Weight = one()
+					if out[i].Wit != nil {
+						out[i].Wit.Weight = out[i].Weight
+					}
+				}
+			}
+		}
+	}
+
+	// mid states q_{p′,γ′}, one per (ToState, Sym1) of push rules.
+	mids := map[[2]uint32]State{}
+	midOf := func(s State, g Sym) State {
+		k := [2]uint32{uint32(s), uint32(g)}
+		if m, ok := mids[k]; ok {
+			return m
+		}
+		m := a.AddState()
+		mids[k] = m
+		return m
+	}
+
+	// Worklist of dirty transitions.
+	var queue []Trans
+	inQueue := map[Trans]bool{}
+	push := func(t Trans, w []uint64, wit *Witness) {
+		if a.Insert(t, w, wit) && !inQueue[t] {
+			inQueue[t] = true
+			queue = append(queue, t)
+		}
+	}
+	// Seed the worklist with every initial transition.
+	for s := 0; s < a.NumStates(); s++ {
+		for _, e := range a.Out(State(s)) {
+			t := Trans{State(s), e.Sym, e.To}
+			if !inQueue[t] {
+				inQueue[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+
+	// epsInto[q] lists the sources of ε-transitions into q.
+	epsInto := map[State][]State{}
+	epsSeen := map[Trans]bool{}
+
+	// applyRules fires every PDS rule matching transition t (whose source
+	// is a control state) given its current weight and witness record.
+	applyRules := func(t Trans, w []uint64, rec *Witness) {
+		apply := func(ri int32) {
+			r := &p.Rules[ri]
+			nw := lexAdd(w, ruleWeight(r, dim))
+			switch r.Kind {
+			case PopRule:
+				nt := Trans{r.ToState, Eps, t.To}
+				push(nt, nw, &Witness{Kind: WitRule, Rule: ri, T: nt, PredSym: r.FromSym, Pred1: rec, Weight: nw})
+			case SwapRule:
+				nt := Trans{r.ToState, r.Sym1, t.To}
+				push(nt, nw, &Witness{Kind: WitRule, Rule: ri, T: nt, PredSym: r.FromSym, Pred1: rec, Weight: nw})
+			case PushRule:
+				mid := midOf(r.ToState, r.Sym1)
+				ta := Trans{r.ToState, r.Sym1, mid}
+				push(ta, one(), &Witness{Kind: WitRule, Rule: ri, T: ta, PredSym: r.FromSym, Pred1: rec, Weight: one()})
+				tb := Trans{mid, r.Sym2, t.To}
+				push(tb, nw, &Witness{Kind: WitPushB, Rule: ri, T: tb, PredSym: r.FromSym, Pred1: rec, Weight: nw})
+			}
+		}
+		if set := a.SymSet(t.Sym); set != nil {
+			for _, ri := range p.RulesFromState(t.From) {
+				if set.Has(nfa.Sym(p.Rules[ri].FromSym)) {
+					apply(ri)
+				}
+			}
+		} else {
+			for _, ri := range p.RulesFrom(t.From, t.Sym) {
+				apply(ri)
+			}
+		}
+	}
+
+	var work int64
+	for len(queue) > 0 {
+		if work++; budget > 0 && work > budget {
+			return nil, ErrBudget
+		}
+		t := queue[0]
+		queue = queue[1:]
+		inQueue[t] = false
+		e, ok := a.Get(t)
+		if !ok {
+			continue
+		}
+		w, rec := e.Weight, e.Wit
+
+		if t.Sym == Eps {
+			// Register and combine with everything currently leaving t.To.
+			if !epsSeen[t] {
+				epsSeen[t] = true
+				epsInto[t.To] = append(epsInto[t.To], t.From)
+			}
+			for _, e2 := range a.Out(t.To) {
+				if e2.Sym == Eps {
+					continue // ε-targets are never ε-sources
+				}
+				nt := Trans{t.From, e2.Sym, e2.To}
+				nw := lexAdd(w, e2.Weight)
+				push(nt, nw, &Witness{Kind: WitCombine, Rule: -1, T: nt, Pred1: rec, Pred2: e2.Wit, Weight: nw})
+			}
+			continue
+		}
+
+		// Combine ε-transitions into t.From with t (the symmetric case;
+		// only mid states ever gain new outgoing transitions).
+		for _, src := range epsInto[t.From] {
+			et, ok2 := a.Get(Trans{src, Eps, t.From})
+			if !ok2 {
+				continue
+			}
+			nt := Trans{src, t.Sym, t.To}
+			nw := lexAdd(et.Weight, w)
+			push(nt, nw, &Witness{Kind: WitCombine, Rule: -1, T: nt, Pred1: et.Wit, Pred2: rec, Weight: nw})
+		}
+
+		if int(t.From) >= p.NumStates {
+			continue // no rules apply to non-control sources
+		}
+		applyRules(t, w, rec)
+	}
+
+	res := &Result{PDS: p, Auto: a, Dim: dim, Mids: map[State][2]uint32{}}
+	for k, v := range mids {
+		res.Mids[v] = k
+	}
+	return res, nil
+}
+
+func ruleWeight(r *Rule, dim int) []uint64 {
+	if dim == 0 {
+		return nil
+	}
+	return r.Weight
+}
+
+// Accepted is a configuration found by FindAccepting, with the automaton
+// path that accepts it and the total path weight. Config.Stack holds the
+// concrete symbols chosen along the path (virtual set edges are resolved to
+// one member).
+type Accepted struct {
+	Config Config
+	Path   []Trans
+	Syms   []Sym // concrete symbol per path transition
+	Weight []uint64
+}
+
+// FindAccepting searches the saturated automaton for a configuration
+// ⟨p, w⟩ such that p ∈ starts, the automaton accepts w from p, and w is
+// accepted by spec (an epsilon-free NFA over the concrete stack alphabet).
+// Among all such configurations it returns one minimising the total
+// transition weight (lexicographically, then by stack length); ok is false
+// when none exists.
+func (r *Result) FindAccepting(starts []State, spec *nfa.NFA) (Accepted, bool) {
+	type node struct {
+		s State
+		n int // spec state
+	}
+	type back struct {
+		from node
+		t    Trans
+		sym  Sym
+	}
+	dist := map[node][]uint64{}
+	prev := map[node]back{}
+	hopCount := map[node]int{}
+	pq := &accHeap{}
+	for _, p := range starts {
+		for _, ns := range spec.EpsClosure(spec.Start()) {
+			nd := node{p, ns}
+			if _, ok := dist[nd]; !ok {
+				zero := make([]uint64, r.Dim)
+				dist[nd] = zero
+				hopCount[nd] = 0
+				heap.Push(pq, accItem{nd.s, nd.n, zero, 0})
+			}
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(accItem)
+		nd := node{it.s, it.n}
+		if d, ok := dist[nd]; ok && (lexLess(d, it.w) || (equalVec(d, it.w) && hopCount[nd] < it.hops)) {
+			continue // stale queue entry superseded by a better one
+		}
+		if r.Auto.Accepting(nd.s) && spec.Accepting(nd.n) {
+			var path []Trans
+			var syms []Sym
+			cur := nd
+			for {
+				b, ok := prev[cur]
+				if !ok {
+					break
+				}
+				path = append(path, b.t)
+				syms = append(syms, b.sym)
+				cur = b.from
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+				syms[i], syms[j] = syms[j], syms[i]
+			}
+			stack := make([]Sym, len(syms))
+			copy(stack, syms)
+			start := cur.s
+			if len(path) > 0 {
+				start = path[0].From
+			}
+			return Accepted{
+				Config: Config{State: start, Stack: stack},
+				Path:   path,
+				Syms:   syms,
+				Weight: it.w,
+			}, true
+		}
+		for _, e := range r.Auto.Out(nd.s) {
+			if e.Sym == Eps {
+				continue
+			}
+			for _, arc := range spec.Arcs(nd.n) {
+				var csym Sym
+				if set := r.Auto.SymSet(e.Sym); set != nil {
+					inter := arc.Set.Inter(set)
+					first, ok := inter.First()
+					if !ok {
+						continue
+					}
+					csym = Sym(first)
+				} else {
+					if !arc.Set.Has(nfa.Sym(e.Sym)) {
+						continue
+					}
+					csym = e.Sym
+				}
+				nn := node{e.To, arc.To}
+				nw := lexAdd(it.w, e.Weight)
+				nh := it.hops + 1
+				old, seen := dist[nn]
+				if !seen || lexLess(nw, old) || (equalVec(nw, old) && nh < hopCount[nn]) {
+					dist[nn] = nw
+					hopCount[nn] = nh
+					prev[nn] = back{nd, Trans{nd.s, e.Sym, e.To}, csym}
+					heap.Push(pq, accItem{nn.s, nn.n, nw, nh})
+				}
+			}
+		}
+	}
+	return Accepted{}, false
+}
+
+func equalVec(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type accItem struct {
+	s    State
+	n    int
+	w    []uint64
+	hops int
+}
+
+type accHeap []accItem
+
+func (h accHeap) Len() int { return len(h) }
+func (h accHeap) Less(i, j int) bool {
+	if !equalVec(h[i].w, h[j].w) {
+		return lexLess(h[i].w, h[j].w)
+	}
+	return h[i].hops < h[j].hops
+}
+func (h accHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *accHeap) Push(x interface{}) { *h = append(*h, x.(accItem)) }
+func (h *accHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Reconstruct unapplies witness records along an accepting path of the
+// post* automaton, returning the initial configuration the derivation
+// started from and the rule indices in application order. The path and
+// concrete symbol choices come from FindAccepting.
+func (r *Result) Reconstruct(acc Accepted) (Config, []int32, error) {
+	if len(acc.Path) == 0 {
+		return Config{}, nil, errors.New("pds: empty accepting path")
+	}
+	type entry struct {
+		rec *Witness
+		sym Sym // concrete symbol resolved for this transition
+	}
+	recs := make([]entry, len(acc.Path))
+	for i, t := range acc.Path {
+		e, ok := r.Auto.Get(t)
+		if !ok {
+			return Config{}, nil, fmt.Errorf("pds: path transition %v not in automaton", t)
+		}
+		recs[i] = entry{e.Wit, acc.Syms[i]}
+	}
+	var reversed []int32
+	guard := 0
+	for recs[0].rec.Kind != WitInitial {
+		if guard++; guard > 50_000_000 {
+			return Config{}, nil, errors.New("pds: witness reconstruction did not terminate")
+		}
+		head := recs[0].rec
+		switch head.Kind {
+		case WitRule:
+			rule := r.PDS.Rules[head.Rule]
+			switch rule.Kind {
+			case SwapRule:
+				reversed = append(reversed, head.Rule)
+				recs[0] = entry{head.Pred1, head.PredSym}
+			case PushRule:
+				if len(recs) < 2 {
+					return Config{}, nil, errors.New("pds: push-A record without a following transition")
+				}
+				b := recs[1].rec
+				if b.Kind != WitPushB {
+					return Config{}, nil, fmt.Errorf("pds: expected push-B record after mid state, got kind %d", b.Kind)
+				}
+				reversed = append(reversed, b.Rule)
+				nrecs := make([]entry, 0, len(recs)-1)
+				nrecs = append(nrecs, entry{b.Pred1, b.PredSym})
+				nrecs = append(nrecs, recs[2:]...)
+				recs = nrecs
+			default:
+				return Config{}, nil, errors.New("pds: pop-derived transition in a non-epsilon path")
+			}
+		case WitCombine:
+			epsRec := head.Pred1
+			if epsRec.Kind != WitRule || r.PDS.Rules[epsRec.Rule].Kind != PopRule {
+				return Config{}, nil, errors.New("pds: combine record without pop-rule epsilon predecessor")
+			}
+			reversed = append(reversed, epsRec.Rule)
+			nrecs := make([]entry, 0, len(recs)+1)
+			nrecs = append(nrecs, entry{epsRec.Pred1, epsRec.PredSym}, entry{head.Pred2, recs[0].sym})
+			nrecs = append(nrecs, recs[1:]...)
+			recs = nrecs
+		case WitPushB:
+			return Config{}, nil, errors.New("pds: push-B record at path head")
+		default:
+			return Config{}, nil, fmt.Errorf("pds: unknown witness kind %d", head.Kind)
+		}
+	}
+	// All remaining records must be initial; they spell the start config.
+	stack := make([]Sym, len(recs))
+	for i, en := range recs {
+		if en.rec.Kind != WitInitial {
+			return Config{}, nil, fmt.Errorf("pds: record %d not initial after head reached initial", i)
+		}
+		stack[i] = en.sym
+	}
+	rules := make([]int32, len(reversed))
+	for i, x := range reversed {
+		rules[len(reversed)-1-i] = x
+	}
+	return Config{State: recs[0].rec.T.From, Stack: stack}, rules, nil
+}
+
+// Replay applies a rule sequence to a configuration, returning every
+// intermediate configuration (len(rules)+1 entries). It fails if a rule's
+// head does not match, which indicates a reconstruction bug.
+func (r *Result) Replay(init Config, rules []int32) ([]Config, error) {
+	configs := make([]Config, 0, len(rules)+1)
+	cur := init
+	configs = append(configs, cur)
+	for _, ri := range rules {
+		next, ok := cur.Step(r.PDS.Rules[ri])
+		if !ok {
+			return nil, fmt.Errorf("pds: rule %v does not apply to %v", r.PDS.Rules[ri], cur)
+		}
+		cur = next
+		configs = append(configs, cur)
+	}
+	return configs, nil
+}

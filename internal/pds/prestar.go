@@ -1,0 +1,99 @@
+package pds
+
+// Prestar computes pre*(L(target)): the returned automaton accepts exactly
+// the configurations from which some configuration accepted by target is
+// reachable. The target automaton is mutated in place (it must not be
+// reused afterwards). The implementation is the worklist formulation of
+// Schwoon's Algorithm 1; it is unweighted and does not track witnesses —
+// the engine uses Poststar for witness generation and Prestar for
+// cross-validation (post*(I) ∩ F ≠ ∅ ⇔ I ∩ pre*(F) ≠ ∅).
+func Prestar(p *PDS, target *Auto) *Result {
+	a := target
+
+	var queue []Trans
+	inQueue := map[Trans]bool{}
+	add := func(t Trans) {
+		if _, ok := a.Get(t); ok {
+			return
+		}
+		a.Insert(t, nil, &Witness{Kind: WitInitial, Rule: -1, T: t})
+		if !inQueue[t] {
+			inQueue[t] = true
+			queue = append(queue, t)
+		}
+	}
+
+	// Seed: existing transitions plus one step for every pop rule
+	// ⟨p,γ⟩ ↪ ⟨p′,ε⟩, which lets ⟨p, γw⟩ reach ⟨p′, w⟩ for any w.
+	for s := 0; s < a.NumStates(); s++ {
+		for _, e := range a.Out(State(s)) {
+			t := Trans{State(s), e.Sym, e.To}
+			if !inQueue[t] {
+				inQueue[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	for i := range p.Rules {
+		if p.Rules[i].Kind == PopRule {
+			add(Trans{p.Rules[i].FromState, p.Rules[i].FromSym, p.Rules[i].ToState})
+		}
+	}
+
+	// Index swap and push rules by the state of their right-hand side.
+	swapByRHS := make([][]int32, p.NumStates)
+	pushByRHS := make([][]int32, p.NumStates)
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		switch r.Kind {
+		case SwapRule:
+			swapByRHS[r.ToState] = append(swapByRHS[r.ToState], int32(i))
+		case PushRule:
+			pushByRHS[r.ToState] = append(pushByRHS[r.ToState], int32(i))
+		}
+	}
+
+	// Residual rules for push rules: once ⟨p1,γ1⟩ ↪ ⟨q,γ′γ2⟩ can consume γ′
+	// into state q′, the residual ⟨p1,γ1⟩ ↪ ⟨q′,γ2⟩ applies.
+	type dprime struct {
+		from State
+		sym  Sym
+		sym2 Sym
+	}
+	dprimeByMid := map[State][]dprime{}
+
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		inQueue[t] = false
+
+		// Swap rules whose RHS head ⟨t.From, γ′⟩ matches this transition.
+		if int(t.From) < p.NumStates {
+			for _, ri := range swapByRHS[t.From] {
+				r := &p.Rules[ri]
+				if a.Matches(t.Sym, r.Sym1) {
+					add(Trans{r.FromState, r.FromSym, t.To})
+				}
+			}
+			for _, ri := range pushByRHS[t.From] {
+				r := &p.Rules[ri]
+				if !a.Matches(t.Sym, r.Sym1) {
+					continue
+				}
+				dprimeByMid[t.To] = append(dprimeByMid[t.To], dprime{r.FromState, r.FromSym, r.Sym2})
+				for _, e := range a.Out(t.To) {
+					if a.Matches(e.Sym, r.Sym2) {
+						add(Trans{r.FromState, r.FromSym, e.To})
+					}
+				}
+			}
+		}
+		// Residual rules registered for t.From fire on this transition.
+		for _, d := range dprimeByMid[t.From] {
+			if a.Matches(t.Sym, d.sym2) {
+				add(Trans{d.from, d.sym, t.To})
+			}
+		}
+	}
+	return &Result{PDS: p, Auto: a, Dim: 0}
+}

@@ -1,0 +1,331 @@
+package query_test
+
+import (
+	"strings"
+	"testing"
+
+	"aalwines/internal/gen"
+	"aalwines/internal/labels"
+	"aalwines/internal/network"
+	"aalwines/internal/nfa"
+	"aalwines/internal/query"
+)
+
+// Phi returns the Figure 1d queries φ0..φ4 in concrete syntax.
+func phi(i int) string {
+	switch i {
+	case 0:
+		return "<ip> [.#v0] .* [v3#.] <ip> 0"
+	case 1:
+		return "<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2"
+	case 2:
+		return "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0"
+	case 3:
+		return "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1"
+	case 4:
+		return "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1"
+	default:
+		panic("no such phi")
+	}
+}
+
+func headerSyms(h labels.Header) []nfa.Sym {
+	out := make([]nfa.Sym, len(h))
+	for i, id := range h {
+		out[i] = query.LabelSym(id)
+	}
+	return out
+}
+
+func pathSyms(tr network.Trace) []nfa.Sym {
+	out := make([]nfa.Sym, len(tr))
+	for i, s := range tr {
+		out[i] = query.LinkSym(s.Link)
+	}
+	return out
+}
+
+func TestParseAllPhis(t *testing.T) {
+	re := gen.RunningExample()
+	for i := 0; i <= 4; i++ {
+		q, err := query.Parse(phi(i), re.Network)
+		if err != nil {
+			t.Fatalf("phi%d: %v", i, err)
+		}
+		wantK := []int{0, 2, 0, 1, 1}[i]
+		if q.MaxFailures != wantK {
+			t.Errorf("phi%d: k = %d, want %d", i, q.MaxFailures, wantK)
+		}
+	}
+}
+
+func TestUnicodeAngleBrackets(t *testing.T) {
+	re := gen.RunningExample()
+	q, err := query.Parse("⟨ip⟩ [.#v0] .* [v3#.] ⟨ip⟩ 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MaxFailures != 0 {
+		t.Errorf("k = %d", q.MaxFailures)
+	}
+}
+
+// TestPhiRegexSemantics checks the three component automata against the
+// witness traces documented in Figure 1d.
+func TestPhiRegexSemantics(t *testing.T) {
+	re := gen.RunningExample()
+	type tc struct {
+		phi    int
+		sigma  int
+		preOK  bool // initial header matches a
+		pathOK bool // link sequence matches b
+		postOK bool // final header matches c
+	}
+	cases := []tc{
+		// φ0 is satisfied by σ0 and σ1; σ2's path also matches but needs a failure.
+		{0, 0, true, true, true},
+		{0, 1, true, true, true},
+		{0, 2, true, true, true},
+		{0, 3, false, true, false}, // σ3 starts with s40∘ip1 and ends s44∘ip1
+		// φ1 forbids v2→v3 links in the middle; σ0 uses e4 (v2→v3).
+		{1, 0, true, false, true},
+		{1, 1, true, true, true},
+		{1, 2, true, true, true},
+		// φ2: starts s40∘ip, ends smpls∘ip: σ3 qualifies.
+		{2, 3, true, true, true},
+		{2, 0, false, true, false},
+		// φ3: ends with at least one plain MPLS label above an smpls: no σ.
+		{3, 3, true, true, false},
+		// φ4: at least 3 hops (. . .*), optional smpls around ip.
+		{4, 2, true, true, true},
+		{4, 3, true, true, true},
+		{4, 0, true, false, true}, // σ0 has only 4 links; φ4 needs ≥ 5
+	}
+	for _, c := range cases {
+		q, err := query.Parse(phi(c.phi), re.Network)
+		if err != nil {
+			t.Fatalf("phi%d: %v", c.phi, err)
+		}
+		tr := re.Sigma(c.sigma)
+		first, last := tr[0].Header, tr[len(tr)-1].Header
+		if got := q.PreNFA.Accepts(headerSyms(first)); got != c.preOK {
+			t.Errorf("phi%d σ%d: pre accepts=%v, want %v", c.phi, c.sigma, got, c.preOK)
+		}
+		if got := q.PathNFA.Accepts(pathSyms(tr)); got != c.pathOK {
+			t.Errorf("phi%d σ%d: path accepts=%v, want %v", c.phi, c.sigma, got, c.pathOK)
+		}
+		if got := q.PostNFA.Accepts(headerSyms(last)); got != c.postOK {
+			t.Errorf("phi%d σ%d: post accepts=%v, want %v", c.phi, c.sigma, got, c.postOK)
+		}
+	}
+}
+
+func TestLinkAtomInterfaces(t *testing.T) {
+	re := gen.RunningExample()
+	// Links are named oeN/ieN in the generator; [v0.oe1#v2.ie1] is exactly e1.
+	q, err := query.Parse("<ip> [v0.oe1#v2.ie1] <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.PathNFA.Accepts([]nfa.Sym{query.LinkSym(re.Links["e1"])}) {
+		t.Error("interface-qualified atom rejects e1")
+	}
+	if q.PathNFA.Accepts([]nfa.Sym{query.LinkSym(re.Links["e2"])}) {
+		t.Error("interface-qualified atom accepts e2")
+	}
+	// Interface on one side only.
+	q2, err := query.Parse("<ip> [v0.oe1#.] <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.PathNFA.Accepts([]nfa.Sym{query.LinkSym(re.Links["e1"])}) {
+		t.Error("half-qualified atom rejects e1")
+	}
+}
+
+func TestNegatedLinkAtom(t *testing.T) {
+	re := gen.RunningExample()
+	q, err := query.Parse("<ip> [^v2#v3] <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PathNFA.Accepts([]nfa.Sym{query.LinkSym(re.Links["e4"])}) {
+		t.Error("[^v2#v3] accepts e4 (v2→v3)")
+	}
+	for _, e := range []string{"e0", "e1", "e5", "e7"} {
+		if !q.PathNFA.Accepts([]nfa.Sym{query.LinkSym(re.Links[e])}) {
+			t.Errorf("[^v2#v3] rejects %s", e)
+		}
+	}
+}
+
+func TestLabelSetAtom(t *testing.T) {
+	re := gen.RunningExample()
+	q, err := query.Parse("<[s40,s41] ip1> .* <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := q.PreNFA.Accepts([]nfa.Sym{query.LabelSym(re.L["s40"]), query.LabelSym(re.L["ip1"])})
+	if !ok {
+		t.Error("label set rejects s40 ip1")
+	}
+	if q.PreNFA.Accepts([]nfa.Sym{query.LabelSym(re.L["s20"]), query.LabelSym(re.L["ip1"])}) {
+		t.Error("label set accepts s20")
+	}
+}
+
+func TestAbbreviationsCoverKinds(t *testing.T) {
+	re := gen.RunningExample()
+	q, err := query.Parse("<mpls smpls ip> .* <.> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []nfa.Sym{
+		query.LabelSym(re.L["30"]),
+		query.LabelSym(re.L["s21"]),
+		query.LabelSym(re.L["ip1"]),
+	}
+	if !q.PreNFA.Accepts(w) {
+		t.Error("mpls smpls ip rejects 30 s21 ip1")
+	}
+	// Wrong order must be rejected.
+	if q.PreNFA.Accepts([]nfa.Sym{w[1], w[0], w[2]}) {
+		t.Error("accepts s21 30 ip1")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	re := gen.RunningExample()
+	bad := []string{
+		"",
+		"<ip>",
+		"<ip> .* <ip>",          // missing k
+		"<ip> .* <ip> x",        // bad k
+		"<nolabel> .* <ip> 0",   // unknown label
+		"<ip> [nope#v3] <ip> 0", // unknown router
+		"<ip> [v0#v3 <ip> 0",    // unclosed atom
+		"<ip [.#v0] <ip> 0",     // unclosed header
+		"<ip> (.* <ip> 0",       // unclosed paren
+		"<[s40,] ip> .* <ip> 0", // dangling comma
+		"<ip> .* <ip> 0 junk",   // trailing input
+		"<ip> [#v0] <ip> 0",     // empty side
+	}
+	for _, s := range bad {
+		if _, err := query.Parse(s, re.Network); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestErrorMentionsOffset(t *testing.T) {
+	re := gen.RunningExample()
+	_, err := query.Parse("<wat> .* <ip> 0", re.Network)
+	if err == nil || !strings.Contains(err.Error(), "unknown label") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAlternationAndGrouping(t *testing.T) {
+	re := gen.RunningExample()
+	q, err := query.Parse("<(s40|s20) ip> ([.#v0]|[.#v1]) <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.PreNFA.Accepts([]nfa.Sym{query.LabelSym(re.L["s20"]), query.LabelSym(re.L["ip1"])}) {
+		t.Error("alternation rejects s20 ip1")
+	}
+	if !q.PathNFA.Accepts([]nfa.Sym{query.LinkSym(re.Links["e0"])}) {
+		t.Error("link alternation rejects e0")
+	}
+}
+
+func TestTable1StyleQuery(t *testing.T) {
+	re := gen.RunningExample()
+	// The Table 1 shape ⟨(mpls* smpls)? ip⟩ must parse.
+	q, err := query.Parse("<smpls ip> [.#v0] .* [.#v3] <(mpls* smpls)? ip> 1", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c matches bare ip...
+	if !q.PostNFA.Accepts([]nfa.Sym{query.LabelSym(re.L["ip1"])}) {
+		t.Error("(mpls* smpls)? ip rejects bare ip")
+	}
+	// ... and 30 s21 ip.
+	w := []nfa.Sym{query.LabelSym(re.L["30"]), query.LabelSym(re.L["s21"]), query.LabelSym(re.L["ip1"])}
+	if !q.PostNFA.Accepts(w) {
+		t.Error("(mpls* smpls)? ip rejects 30 s21 ip")
+	}
+	// ... but not smpls-less stacks.
+	if q.PostNFA.Accepts([]nfa.Sym{query.LabelSym(re.L["30"]), query.LabelSym(re.L["ip1"])}) {
+		t.Error("accepts 30 ip (missing smpls)")
+	}
+}
+
+func TestServiceLabelDollarName(t *testing.T) {
+	re := gen.RunningExample()
+	re.Labels.MustIntern("$449550", labels.MPLS)
+	q, err := query.Parse("<[$449550] ip> .* <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q
+}
+
+// TestRepetitionQuantifiers exercises the {n}, {n,}, {n,m} extension on
+// both the label and link layers.
+func TestRepetitionQuantifiers(t *testing.T) {
+	re := gen.RunningExample()
+	// Exactly four links.
+	q, err := query.Parse("<ip> .{4} <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.PathNFA.Accepts(pathSyms(re.Sigma(0))) { // 4 links
+		t.Error(".{4} rejects a 4-link path")
+	}
+	if q.PathNFA.Accepts(pathSyms(re.Sigma(3))) { // 5 links
+		t.Error(".{4} accepts a 5-link path")
+	}
+	// At least five links.
+	q, err = query.Parse("<ip> .{5,} <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PathNFA.Accepts(pathSyms(re.Sigma(0))) {
+		t.Error(".{5,} accepts 4 links")
+	}
+	if !q.PathNFA.Accepts(pathSyms(re.Sigma(3))) {
+		t.Error(".{5,} rejects 5 links")
+	}
+	// Range on labels: one to two plain MPLS labels over smpls ip.
+	q, err = query.Parse("<mpls{1,2} smpls ip> .* <.> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := []nfa.Sym{query.LabelSym(re.L["30"]), query.LabelSym(re.L["s21"]), query.LabelSym(re.L["ip1"])}
+	if !q.PreNFA.Accepts(h2) {
+		t.Error("mpls{1,2} rejects one mpls label")
+	}
+	h0 := []nfa.Sym{query.LabelSym(re.L["s21"]), query.LabelSym(re.L["ip1"])}
+	if q.PreNFA.Accepts(h0) {
+		t.Error("mpls{1,2} accepts zero mpls labels")
+	}
+	// phi4 rewritten with the quantifier: .{5,} between the endpoints.
+	res0, err := query.Parse("<smpls? ip> [.#v0] .{3,} [v3#.] <smpls? ip> 1", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res0.PathNFA.Accepts(pathSyms(re.Sigma(2))) {
+		t.Error("rewritten phi4 rejects sigma2")
+	}
+	// Errors.
+	for _, bad := range []string{
+		"<ip> .{2,1} <ip> 0",
+		"<ip> .{x} <ip> 0",
+		"<ip> .{1 <ip> 0",
+	} {
+		if _, err := query.Parse(bad, re.Network); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package rex defines the regular expression AST shared by the two halves
+// of the AalWiNes query language — label expressions over L and link
+// expressions over E — and compiles it to the symbol-set NFAs of
+// internal/nfa via Thompson's construction. Complement (the ^ operator of
+// the query language) is compiled by determinising the operand.
+package rex
+
+import (
+	"fmt"
+	"strings"
+
+	"aalwines/internal/nfa"
+)
+
+// Node is a regular expression tree node.
+type Node interface {
+	fmt.Stringer
+	isNode()
+}
+
+// Empty denotes the empty language ∅.
+type Empty struct{}
+
+// Eps denotes the language {ε}.
+type Eps struct{}
+
+// Atom matches exactly one symbol from Set. Name is the surface syntax that
+// produced the atom; it is used only for diagnostics.
+type Atom struct {
+	Set  *nfa.Set
+	Name string
+}
+
+// Concat matches the concatenation of its parts.
+type Concat struct{ Parts []Node }
+
+// Union matches the union (alternation) of its parts.
+type Union struct{ Parts []Node }
+
+// Star matches zero or more repetitions of X.
+type Star struct{ X Node }
+
+// Plus matches one or more repetitions of X.
+type Plus struct{ X Node }
+
+// Opt matches zero or one occurrence of X.
+type Opt struct{ X Node }
+
+// Not matches the complement of X's language over the full universe.
+type Not struct{ X Node }
+
+// Repeat matches between Min and Max repetitions of X; Max < 0 means
+// unbounded ("{n,}"). It extends the paper's query language (listed there
+// as future work on expressiveness).
+type Repeat struct {
+	X        Node
+	Min, Max int
+}
+
+func (Empty) isNode()  {}
+func (Eps) isNode()    {}
+func (Atom) isNode()   {}
+func (Concat) isNode() {}
+func (Union) isNode()  {}
+func (Star) isNode()   {}
+func (Plus) isNode()   {}
+func (Opt) isNode()    {}
+func (Not) isNode()    {}
+func (Repeat) isNode() {}
+
+func (Empty) String() string { return "∅" }
+func (Eps) String() string   { return "ε" }
+func (a Atom) String() string {
+	if a.Name != "" {
+		return a.Name
+	}
+	return fmt.Sprintf("{%d syms}", a.Set.Len())
+}
+func (c Concat) String() string { return joinNodes(c.Parts, " ") }
+func (u Union) String() string  { return "(" + joinNodes(u.Parts, "|") + ")" }
+func (s Star) String() string   { return group(s.X) + "*" }
+func (p Plus) String() string   { return group(p.X) + "+" }
+func (o Opt) String() string    { return group(o.X) + "?" }
+func (n Not) String() string    { return "^" + group(n.X) }
+func (r Repeat) String() string {
+	if r.Max < 0 {
+		return fmt.Sprintf("%s{%d,}", group(r.X), r.Min)
+	}
+	if r.Min == r.Max {
+		return fmt.Sprintf("%s{%d}", group(r.X), r.Min)
+	}
+	return fmt.Sprintf("%s{%d,%d}", group(r.X), r.Min, r.Max)
+}
+
+func joinNodes(ns []Node, sep string) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+func group(n Node) string {
+	switch n.(type) {
+	case Atom, Eps, Empty:
+		return n.String()
+	default:
+		return "(" + n.String() + ")"
+	}
+}
+
+// Compile translates a regular expression into an NFA over the given symbol
+// universe using Thompson's construction; Not subtrees are compiled by
+// determinisation and complementation, then spliced in.
+func Compile(n Node, universe int) *nfa.NFA {
+	a := nfa.New(universe)
+	fin := a.AddState()
+	compileInto(n, a, a.Start(), fin, universe)
+	a.SetAccept(fin, true)
+	return a
+}
+
+// compileInto builds n between states from and to of a.
+func compileInto(n Node, a *nfa.NFA, from, to nfa.State, universe int) {
+	switch x := n.(type) {
+	case Empty:
+		// no transition: dead
+	case Eps:
+		a.AddEps(from, to)
+	case Atom:
+		a.AddArc(from, x.Set, to)
+	case Concat:
+		if len(x.Parts) == 0 {
+			a.AddEps(from, to)
+			return
+		}
+		cur := from
+		for i, p := range x.Parts {
+			next := to
+			if i < len(x.Parts)-1 {
+				next = a.AddState()
+			}
+			compileInto(p, a, cur, next, universe)
+			cur = next
+		}
+	case Union:
+		if len(x.Parts) == 0 {
+			return // empty union = ∅
+		}
+		for _, p := range x.Parts {
+			compileInto(p, a, from, to, universe)
+		}
+	case Star:
+		mid := a.AddState()
+		a.AddEps(from, mid)
+		a.AddEps(mid, to)
+		inner := a.AddState()
+		a.AddEps(mid, inner)
+		compileInto(x.X, a, inner, mid, universe)
+	case Plus:
+		compileInto(Concat{Parts: []Node{x.X, Star{X: x.X}}}, a, from, to, universe)
+	case Opt:
+		a.AddEps(from, to)
+		compileInto(x.X, a, from, to, universe)
+	case Repeat:
+		var parts []Node
+		for i := 0; i < x.Min; i++ {
+			parts = append(parts, x.X)
+		}
+		if x.Max < 0 {
+			parts = append(parts, Star{X: x.X})
+		} else {
+			for i := x.Min; i < x.Max; i++ {
+				parts = append(parts, Opt{X: x.X})
+			}
+		}
+		compileInto(Concat{Parts: parts}, a, from, to, universe)
+	case Not:
+		sub := Compile(x.X, universe).Complement()
+		splice(sub, a, from, to)
+	default:
+		panic(fmt.Sprintf("rex: unknown node type %T", n))
+	}
+}
+
+// splice copies automaton sub into a, identifying sub's start with from and
+// routing acceptance to to via epsilon transitions.
+func splice(sub *nfa.NFA, a *nfa.NFA, from, to nfa.State) {
+	m := make([]nfa.State, sub.NumStates())
+	for s := 0; s < sub.NumStates(); s++ {
+		if s == sub.Start() {
+			m[s] = from
+		} else {
+			m[s] = a.AddState()
+		}
+	}
+	for s := 0; s < sub.NumStates(); s++ {
+		for _, arc := range sub.Arcs(s) {
+			a.AddArc(m[s], arc.Set, m[arc.To])
+		}
+		if sub.Accepting(s) {
+			a.AddEps(m[s], to)
+		}
+	}
+}
+
+// AnyAtom returns an atom matching every symbol of the universe (the "."
+// of the query language).
+func AnyAtom(universe int) Atom {
+	return Atom{Set: nfa.FullSet(universe), Name: "."}
+}

@@ -1,0 +1,139 @@
+// Package routing implements the MPLS forwarding model of the AalWiNes
+// paper: header manipulation operations (push/swap/pop, Definition 3), the
+// partial header rewrite function ℋ, and routing tables τ that map an
+// incoming link and top-of-stack label to a priority-ordered sequence of
+// traffic engineering groups (Definition 2).
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"aalwines/internal/labels"
+)
+
+// OpKind enumerates the three MPLS stack operations.
+type OpKind uint8
+
+const (
+	// OpSwap replaces the top label.
+	OpSwap OpKind = iota
+	// OpPush pushes a new label on top of the stack.
+	OpPush
+	// OpPop removes the top label (only defined on MPLS labels, never IP).
+	OpPop
+)
+
+// Op is a single MPLS operation. Label is meaningful for swap and push.
+type Op struct {
+	Kind  OpKind
+	Label labels.ID
+}
+
+// Swap returns a swap(ℓ) operation.
+func Swap(l labels.ID) Op { return Op{Kind: OpSwap, Label: l} }
+
+// Push returns a push(ℓ) operation.
+func Push(l labels.ID) Op { return Op{Kind: OpPush, Label: l} }
+
+// Pop returns the pop operation.
+func Pop() Op { return Op{Kind: OpPop} }
+
+// Format renders the op in the paper's notation, e.g. "swap(s21)".
+func (o Op) Format(t *labels.Table) string {
+	switch o.Kind {
+	case OpSwap:
+		return fmt.Sprintf("swap(%s)", t.Name(o.Label))
+	case OpPush:
+		return fmt.Sprintf("push(%s)", t.Name(o.Label))
+	case OpPop:
+		return "pop"
+	default:
+		return fmt.Sprintf("op(%d)", o.Kind)
+	}
+}
+
+// Ops is a sequence of operations ω ∈ Op*, applied left to right.
+type Ops []Op
+
+// FormatOps renders an op sequence like "swap(s21) ∘ push(30)".
+func (ops Ops) Format(t *labels.Table) string {
+	if len(ops) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.Format(t)
+	}
+	return strings.Join(parts, " ∘ ")
+}
+
+// StackGrowth returns the net change in stack height caused by the
+// sequence: +1 per push, -1 per pop. Used by the Tunnels atomic quantity,
+// whose per-step contribution is max(0, StackGrowth).
+func (ops Ops) StackGrowth() int {
+	g := 0
+	for _, o := range ops {
+		switch o.Kind {
+		case OpPush:
+			g++
+		case OpPop:
+			g--
+		}
+	}
+	return g
+}
+
+// ErrUndefined is returned by Rewrite when ℋ(h, ω) is undefined — e.g.
+// popping an IP label, swapping in a label that would make the header
+// invalid, or operating on an empty header.
+var ErrUndefined = errors.New("routing: header rewrite undefined")
+
+// Rewrite implements the partial header rewrite function ℋ : H × Op* ⇀ H of
+// Definition 3. It returns a fresh header (h is not modified) or
+// ErrUndefined when any intermediate step is undefined. The input header is
+// assumed valid; the output header is then valid by construction, which the
+// side conditions of Definition 3 guarantee.
+func Rewrite(t *labels.Table, h labels.Header, ops Ops) (labels.Header, error) {
+	cur := h.Clone()
+	for _, o := range ops {
+		if len(cur) == 0 {
+			return nil, ErrUndefined
+		}
+		top := cur[0]
+		switch o.Kind {
+		case OpSwap:
+			// swap(ℓ') requires ℓ'h ∈ H: the new label must be valid in the
+			// position of the old top, i.e. on top of the rest of the stack.
+			if len(cur) == 1 {
+				// Only an IP label; swapping it would need ℓ' valid as a
+				// whole header, i.e. ℓ' ∈ L_IP. Swapping IP labels is not an
+				// MPLS operation in this model.
+				if t.Kind(o.Label) != labels.IP {
+					return nil, ErrUndefined
+				}
+				cur[0] = o.Label
+				continue
+			}
+			if !labels.ValidOnTopOf(t, o.Label, cur[1]) {
+				return nil, ErrUndefined
+			}
+			cur[0] = o.Label
+		case OpPush:
+			if !labels.ValidOnTopOf(t, o.Label, top) {
+				return nil, ErrUndefined
+			}
+			cur = append(labels.Header{o.Label}, cur...)
+		case OpPop:
+			k := t.Kind(top)
+			if k != labels.MPLS && k != labels.BottomMPLS {
+				return nil, ErrUndefined
+			}
+			cur = cur[1:]
+		default:
+			return nil, fmt.Errorf("routing: unknown op kind %d", o.Kind)
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,182 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"aalwines/internal/labels"
+)
+
+func testLabels() (*labels.Table, map[string]labels.ID) {
+	t := labels.NewTable()
+	m := map[string]labels.ID{}
+	for _, n := range []string{"30", "31"} {
+		m[n] = t.MustIntern(n, labels.MPLS)
+	}
+	for _, n := range []string{"s20", "s21"} {
+		m[n] = t.MustIntern(n, labels.BottomMPLS)
+	}
+	for _, n := range []string{"ip1", "ip2"} {
+		m[n] = t.MustIntern(n, labels.IP)
+	}
+	return t, m
+}
+
+// TestPaperRewriteExample reproduces the worked example of §2.2:
+// ℋ(30 ∘ s20 ∘ ip1, pop ∘ swap(s21) ∘ push(31)) = 31 ∘ s21 ∘ ip1.
+func TestPaperRewriteExample(t *testing.T) {
+	tbl, m := testLabels()
+	h := labels.Header{m["30"], m["s20"], m["ip1"]}
+	got, err := Rewrite(tbl, h, Ops{Pop(), Swap(m["s21"]), Push(m["31"])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := labels.Header{m["31"], m["s21"], m["ip1"]}
+	if !got.Equal(want) {
+		t.Fatalf("got %s, want %s", got.Format(tbl), want.Format(tbl))
+	}
+	// Original header must be untouched.
+	if !h.Equal(labels.Header{m["30"], m["s20"], m["ip1"]}) {
+		t.Fatal("Rewrite mutated its input")
+	}
+}
+
+func TestRewriteEmptyOps(t *testing.T) {
+	tbl, m := testLabels()
+	h := labels.Header{m["ip1"]}
+	got, err := Rewrite(tbl, h, nil)
+	if err != nil || !got.Equal(h) {
+		t.Fatalf("identity rewrite: got %v err %v", got, err)
+	}
+}
+
+func TestRewriteUndefinedCases(t *testing.T) {
+	tbl, m := testLabels()
+	cases := []struct {
+		name string
+		h    labels.Header
+		ops  Ops
+	}{
+		{"pop IP", labels.Header{m["ip1"]}, Ops{Pop()}},
+		{"pop past bottom", labels.Header{m["s20"], m["ip1"]}, Ops{Pop(), Pop()}},
+		{"push bottom on mpls", labels.Header{m["30"], m["s20"], m["ip1"]}, Ops{Push(m["s21"])}},
+		{"push ip", labels.Header{m["s20"], m["ip1"]}, Ops{Push(m["ip2"])}},
+		{"swap ip for mpls", labels.Header{m["ip1"]}, Ops{Swap(m["30"])}},
+		{"swap bottom for plain", labels.Header{m["s20"], m["ip1"]}, Ops{Swap(m["30"])}},
+		{"swap plain for bottom", labels.Header{m["30"], m["s20"], m["ip1"]}, Ops{Swap(m["s21"])}},
+		{"op on empty", labels.Header{}, Ops{Pop()}},
+	}
+	for _, c := range cases {
+		if _, err := Rewrite(tbl, c.h, c.ops); !errors.Is(err, ErrUndefined) {
+			t.Errorf("%s: err = %v, want ErrUndefined", c.name, err)
+		}
+	}
+}
+
+func TestRewriteDefinedCases(t *testing.T) {
+	tbl, m := testLabels()
+	cases := []struct {
+		name string
+		h    labels.Header
+		ops  Ops
+		want labels.Header
+	}{
+		{"swap mpls", labels.Header{m["30"], m["s20"], m["ip1"]}, Ops{Swap(m["31"])},
+			labels.Header{m["31"], m["s20"], m["ip1"]}},
+		{"swap bottom", labels.Header{m["s20"], m["ip1"]}, Ops{Swap(m["s21"])},
+			labels.Header{m["s21"], m["ip1"]}},
+		{"swap ip for ip", labels.Header{m["ip1"]}, Ops{Swap(m["ip2"])},
+			labels.Header{m["ip2"]}},
+		{"push on bottom", labels.Header{m["s20"], m["ip1"]}, Ops{Push(m["30"])},
+			labels.Header{m["30"], m["s20"], m["ip1"]}},
+		{"push bottom on ip", labels.Header{m["ip1"]}, Ops{Push(m["s20"])},
+			labels.Header{m["s20"], m["ip1"]}},
+		{"pop to bottom", labels.Header{m["30"], m["s20"], m["ip1"]}, Ops{Pop()},
+			labels.Header{m["s20"], m["ip1"]}},
+		{"pop bottom", labels.Header{m["s20"], m["ip1"]}, Ops{Pop()},
+			labels.Header{m["ip1"]}},
+		{"swap then push", labels.Header{m["s20"], m["ip1"]}, Ops{Swap(m["s21"]), Push(m["30"])},
+			labels.Header{m["30"], m["s21"], m["ip1"]}},
+	}
+	for _, c := range cases {
+		got, err := Rewrite(tbl, c.h, c.ops)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s: got %s, want %s", c.name, got.Format(tbl), c.want.Format(tbl))
+		}
+	}
+}
+
+// Property: when Rewrite succeeds on a valid header, the result is valid.
+// This is the closure property that makes the pushdown encoding sound.
+func TestRewritePreservesValidity(t *testing.T) {
+	tbl, m := testLabels()
+	allOps := []Op{
+		Swap(m["30"]), Swap(m["31"]), Swap(m["s20"]), Swap(m["s21"]), Swap(m["ip2"]),
+		Push(m["30"]), Push(m["31"]), Push(m["s20"]), Push(m["s21"]),
+		Pop(),
+	}
+	mpls := []labels.ID{m["30"], m["31"]}
+	f := func(depth uint8, opIdx []uint8) bool {
+		h := labels.Header{}
+		for i := 0; i < int(depth%4); i++ {
+			h = append(h, mpls[i%2])
+		}
+		h = append(h, m["s20"], m["ip1"])
+		var ops Ops
+		for _, oi := range opIdx {
+			ops = append(ops, allOps[int(oi)%len(allOps)])
+		}
+		got, err := Rewrite(tbl, h, ops)
+		if err != nil {
+			return errors.Is(err, ErrUndefined)
+		}
+		return got.Valid(tbl)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StackGrowth equals the actual header length change when the
+// rewrite is defined.
+func TestStackGrowthMatchesRewrite(t *testing.T) {
+	tbl, m := testLabels()
+	seqs := []Ops{
+		{Push(m["30"])},
+		{Pop()},
+		{Swap(m["31"])},
+		{Pop(), Swap(m["s21"]), Push(m["31"])},
+		{Push(m["30"]), Push(m["31"])},
+		{Swap(m["s21"]), Push(m["30"]), Push(m["31"])},
+	}
+	h := labels.Header{m["30"], m["s20"], m["ip1"]}
+	for _, ops := range seqs {
+		got, err := Rewrite(tbl, h, ops)
+		if err != nil {
+			continue
+		}
+		if len(got)-len(h) != ops.StackGrowth() {
+			t.Errorf("ops %s: growth %d, header delta %d",
+				ops.Format(tbl), ops.StackGrowth(), len(got)-len(h))
+		}
+	}
+}
+
+func TestOpsFormat(t *testing.T) {
+	tbl, m := testLabels()
+	ops := Ops{Swap(m["s21"]), Push(m["30"])}
+	if got := ops.Format(tbl); got != "swap(s21) ∘ push(30)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := (Ops{}).Format(tbl); got != "ε" {
+		t.Errorf("Format(empty) = %q", got)
+	}
+	if got := Pop().Format(tbl); got != "pop" {
+		t.Errorf("pop Format = %q", got)
+	}
+}

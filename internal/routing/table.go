@@ -1,0 +1,178 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"aalwines/internal/labels"
+	"aalwines/internal/topology"
+)
+
+// Entry is one forwarding alternative inside a traffic engineering group:
+// forward the packet out of link Out, applying Ops to the header.
+type Entry struct {
+	Out topology.LinkID
+	Ops Ops
+}
+
+// Group is a traffic engineering group: a set of entries of equal priority.
+// The router may nondeterministically select any entry whose outgoing link
+// is active.
+type Group struct {
+	Entries []Entry
+}
+
+// Links returns the set E(O) of outgoing links used by the group, without
+// duplicates, in ascending order.
+func (g *Group) Links() []topology.LinkID {
+	seen := make(map[topology.LinkID]bool, len(g.Entries))
+	var out []topology.LinkID
+	for _, e := range g.Entries {
+		if !seen[e.Out] {
+			seen[e.Out] = true
+			out = append(out, e.Out)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Groups is a priority-ordered sequence of traffic engineering groups
+// O_1 O_2 ... O_n; index 0 has the highest priority.
+type Groups []Group
+
+// PrefixLinks returns the set of distinct links appearing in groups with
+// index < j, i.e. the links that must all have failed for group j to be
+// selected. Its cardinality is the per-step Failures quantity.
+func (gs Groups) PrefixLinks(j int) []topology.LinkID {
+	seen := make(map[topology.LinkID]bool)
+	var out []topology.LinkID
+	for i := 0; i < j && i < len(gs); i++ {
+		for _, e := range gs[i].Entries {
+			if !seen[e.Out] {
+				seen[e.Out] = true
+				out = append(out, e.Out)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// tableKey indexes the routing table τ by (incoming link, top label).
+type tableKey struct {
+	in  topology.LinkID
+	top labels.ID
+}
+
+// Table is the routing table τ : E × L → (2^{E×Op*})* of Definition 2.
+// The zero value is an empty table.
+type Table struct {
+	entries map[tableKey]Groups
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table {
+	return &Table{entries: make(map[tableKey]Groups)}
+}
+
+// Add appends an entry for (in, top) at the given priority (1 = highest,
+// matching the paper's tables). Missing intermediate priorities are created
+// as empty groups and skipped by the active-group logic.
+func (t *Table) Add(in topology.LinkID, top labels.ID, priority int, e Entry) error {
+	if priority < 1 {
+		return fmt.Errorf("routing: priority %d < 1", priority)
+	}
+	if t.entries == nil {
+		t.entries = make(map[tableKey]Groups)
+	}
+	k := tableKey{in, top}
+	gs := t.entries[k]
+	for len(gs) < priority {
+		gs = append(gs, Group{})
+	}
+	gs[priority-1].Entries = append(gs[priority-1].Entries, e)
+	t.entries[k] = gs
+	return nil
+}
+
+// MustAdd is Add that panics on error; for generators and tests.
+func (t *Table) MustAdd(in topology.LinkID, top labels.ID, priority int, e Entry) {
+	if err := t.Add(in, top, priority, e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns τ(in, top), or nil when the router drops such packets.
+func (t *Table) Lookup(in topology.LinkID, top labels.ID) Groups {
+	return t.entries[tableKey{in, top}]
+}
+
+// Active implements the function 𝒜: it returns the entries of the highest-
+// priority group that has at least one active (non-failed) link, restricted
+// to entries whose own link is active, together with the group's index
+// (0-based) and the set of links that must have failed for the group to be
+// chosen. ok is false when no group is active.
+func (t *Table) Active(in topology.LinkID, top labels.ID, failed func(topology.LinkID) bool) (entries []Entry, groupIdx int, mustFail []topology.LinkID, ok bool) {
+	gs := t.entries[tableKey{in, top}]
+	for j, g := range gs {
+		var act []Entry
+		for _, e := range g.Entries {
+			if !failed(e.Out) {
+				act = append(act, e)
+			}
+		}
+		if len(act) > 0 {
+			return act, j, gs.PrefixLinks(j), true
+		}
+	}
+	return nil, -1, nil, false
+}
+
+// Keys returns all (incoming link, top label) pairs with at least one
+// entry, in deterministic order.
+func (t *Table) Keys() []Key {
+	keys := make([]Key, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, Key{In: k.in, Top: k.top})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].In != keys[j].In {
+			return keys[i].In < keys[j].In
+		}
+		return keys[i].Top < keys[j].Top
+	})
+	return keys
+}
+
+// Key is an exported (incoming link, top label) routing table index.
+type Key struct {
+	In  topology.LinkID
+	Top labels.ID
+}
+
+// NumRules returns the total number of forwarding entries across all keys,
+// groups and priorities — the "forwarding rules" count used when sizing
+// networks (NORDUnet has >250,000 of them).
+func (t *Table) NumRules() int {
+	n := 0
+	for _, gs := range t.entries {
+		for _, g := range gs {
+			n += len(g.Entries)
+		}
+	}
+	return n
+}
+
+// TopLabelsFor returns the set of top labels with entries for the given
+// incoming link, in ascending ID order.
+func (t *Table) TopLabelsFor(in topology.LinkID) []labels.ID {
+	var out []labels.ID
+	for k := range t.entries {
+		if k.in == in {
+			out = append(out, k.top)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

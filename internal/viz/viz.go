@@ -1,0 +1,90 @@
+// Package viz renders topologies and witness traces as Graphviz DOT — the
+// library-level stand-in for the paper's browser GUI, which visualises the
+// network map and highlights the discovered witness trace with the
+// operations performed at each router.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"aalwines/internal/network"
+	"aalwines/internal/topology"
+)
+
+// Options control the rendering.
+type Options struct {
+	// Trace highlights a witness trace: its links are drawn bold/red and
+	// annotated with the packet header after each hop.
+	Trace network.Trace
+	// Failed marks links assumed failed (drawn dashed/grey).
+	Failed network.FailedSet
+	// HideStubs omits external stub routers (names starting with "X-") and
+	// their links unless the trace uses them.
+	HideStubs bool
+}
+
+// WriteDOT renders the network (and optional witness overlay) as a DOT
+// digraph.
+func WriteDOT(w io.Writer, net *network.Network, opts Options) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", net.Name)
+	fmt.Fprintf(bw, "  rankdir=LR;\n  node [shape=ellipse, fontname=\"Helvetica\"];\n  edge [fontname=\"Helvetica\", fontsize=10];\n")
+
+	onTrace := map[topology.LinkID]int{} // link -> 1-based step index
+	usedRouter := map[topology.RouterID]bool{}
+	for i, s := range opts.Trace {
+		onTrace[s.Link] = i + 1
+		usedRouter[net.Topo.Source(s.Link)] = true
+		usedRouter[net.Topo.Target(s.Link)] = true
+	}
+
+	hidden := map[topology.RouterID]bool{}
+	for i := range net.Topo.Routers {
+		r := &net.Topo.Routers[i]
+		if opts.HideStubs && strings.HasPrefix(r.Name, "X-") && !usedRouter[r.ID] {
+			hidden[r.ID] = true
+			continue
+		}
+		attrs := []string{fmt.Sprintf("label=%q", r.Name)}
+		if usedRouter[r.ID] {
+			attrs = append(attrs, "style=filled", "fillcolor=\"#ffe0b0\"")
+		}
+		if r.HasLoc {
+			attrs = append(attrs, fmt.Sprintf("tooltip=\"%.2f,%.2f\"", r.Lat, r.Lng))
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", r.ID, strings.Join(attrs, ", "))
+	}
+
+	for i := 0; i < net.Topo.NumLinks(); i++ {
+		l := net.Topo.Links[i]
+		if hidden[l.From] || hidden[l.To] {
+			continue
+		}
+		var attrs []string
+		if step, ok := onTrace[l.ID]; ok {
+			hdr := opts.Trace[step-1].Header.Format(net.Labels)
+			attrs = append(attrs,
+				"color=red", "penwidth=2.2",
+				fmt.Sprintf("label=\"%d: %s\"", step, escape(hdr)))
+		} else if opts.Failed != nil && opts.Failed[l.ID] {
+			attrs = append(attrs, "style=dashed", "color=gray",
+				"label=\"failed\"")
+		} else {
+			attrs = append(attrs, "color=\"#999999\"")
+		}
+		if l.FromIfc != "" {
+			attrs = append(attrs, fmt.Sprintf("tooltip=%q", net.Topo.LinkName(l.ID)))
+		}
+		fmt.Fprintf(bw, "  n%d -> n%d [%s];\n", l.From, l.To, strings.Join(attrs, ", "))
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+// escape makes a header string safe inside a DOT double-quoted label.
+func escape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

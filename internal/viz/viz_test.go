@@ -1,0 +1,77 @@
+package viz_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/viz"
+)
+
+func TestWriteDOTPlain(t *testing.T) {
+	re := gen.RunningExample()
+	var buf bytes.Buffer
+	if err := viz.WriteDOT(&buf, re.Network, viz.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	// 7 routers, 8 links.
+	if got := strings.Count(out, "->"); got != 8 {
+		t.Fatalf("edges = %d, want 8", got)
+	}
+	if !strings.Contains(out, `label="v0"`) {
+		t.Error("router label missing")
+	}
+}
+
+func TestWriteDOTWithWitness(t *testing.T) {
+	re := gen.RunningExample()
+	res, err := engine.VerifyText(re.Network, "<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 1", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != engine.Satisfied {
+		t.Fatal("expected satisfied")
+	}
+	var buf bytes.Buffer
+	err = viz.WriteDOT(&buf, re.Network, viz.Options{Trace: res.Trace, Failed: res.Failed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "color=red") != len(res.Trace) {
+		t.Errorf("highlighted edges != trace length:\n%s", out)
+	}
+	if !strings.Contains(out, "failed") {
+		t.Error("failed link not marked")
+	}
+	// Step labels carry headers.
+	if !strings.Contains(out, "s21") {
+		t.Error("header annotation missing")
+	}
+}
+
+func TestHideStubs(t *testing.T) {
+	s := gen.Zoo(gen.ZooOpts{Routers: 12, Seed: 1, Protection: false})
+	var all, hidden bytes.Buffer
+	if err := viz.WriteDOT(&all, s.Net, viz.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := viz.WriteDOT(&hidden, s.Net, viz.Options{HideStubs: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(all.String(), "X-") {
+		t.Fatal("stubs missing from full render")
+	}
+	if strings.Contains(hidden.String(), "X-") {
+		t.Fatal("stubs present despite HideStubs")
+	}
+	if strings.Count(hidden.String(), "->") >= strings.Count(all.String(), "->") {
+		t.Error("HideStubs did not drop stub links")
+	}
+}

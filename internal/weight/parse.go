@@ -1,0 +1,77 @@
+package weight
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a minimisation vector such as
+//
+//	"Hops, Failures + 3*Tunnels"
+//
+// into a Spec. The grammar per expression is sums of optionally scaled
+// atomic quantity names: expr := term ('+' term)*, term := [NUM '*'] NAME.
+// Quantity names are case-insensitive; "latency" is accepted as an alias
+// for Distance.
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	// Allow the paper's "(a, b)" tuple syntax.
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	var spec Spec
+	for _, part := range strings.Split(s, ",") {
+		e, err := parseExpr(part)
+		if err != nil {
+			return nil, err
+		}
+		spec = append(spec, e)
+	}
+	return spec, nil
+}
+
+func parseExpr(s string) (Expr, error) {
+	var e Expr
+	for _, term := range strings.Split(s, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return nil, fmt.Errorf("weight: empty term in %q", s)
+		}
+		coeff := uint64(1)
+		name := term
+		if i := strings.IndexByte(term, '*'); i >= 0 {
+			c, err := strconv.ParseUint(strings.TrimSpace(term[:i]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("weight: bad coefficient in %q: %v", term, err)
+			}
+			coeff = c
+			name = strings.TrimSpace(term[i+1:])
+		}
+		q, err := parseQuantity(name)
+		if err != nil {
+			return nil, err
+		}
+		e = append(e, Term{Coeff: coeff, Q: q})
+	}
+	return e, nil
+}
+
+func parseQuantity(name string) (Quantity, error) {
+	switch strings.ToLower(name) {
+	case "links":
+		return Links, nil
+	case "hops":
+		return Hops, nil
+	case "distance", "latency":
+		return Distance, nil
+	case "failures":
+		return Failures, nil
+	case "tunnels":
+		return Tunnels, nil
+	default:
+		return 0, fmt.Errorf("weight: unknown quantity %q", name)
+	}
+}

@@ -1,0 +1,116 @@
+package wpds
+
+import "math"
+
+// Bool is the Boolean semiring ⟨{false,true}, ∨, ∧, false, true⟩: plain
+// reachability.
+type Bool struct{}
+
+// Zero returns false.
+func (Bool) Zero() bool { return false }
+
+// One returns true.
+func (Bool) One() bool { return true }
+
+// Combine is disjunction.
+func (Bool) Combine(a, b bool) bool { return a || b }
+
+// Extend is conjunction.
+func (Bool) Extend(a, b bool) bool { return a && b }
+
+// Equal compares values.
+func (Bool) Equal(a, b bool) bool { return a == b }
+
+// Dist is a tropical weight: a distance with an explicit infinity.
+type Dist struct {
+	V   uint64
+	Inf bool
+}
+
+// Infinity is the MinPlus zero.
+var Infinity = Dist{Inf: true}
+
+// D builds a finite distance.
+func D(v uint64) Dist { return Dist{V: v} }
+
+// MinPlus is the tropical semiring ⟨ℕ∪{∞}, min, +, ∞, 0⟩: shortest
+// distances.
+type MinPlus struct{}
+
+// Zero returns ∞.
+func (MinPlus) Zero() Dist { return Infinity }
+
+// One returns 0.
+func (MinPlus) One() Dist { return Dist{} }
+
+// Combine is minimum.
+func (MinPlus) Combine(a, b Dist) Dist {
+	switch {
+	case a.Inf:
+		return b
+	case b.Inf:
+		return a
+	case a.V <= b.V:
+		return a
+	default:
+		return b
+	}
+}
+
+// Extend is saturating addition.
+func (MinPlus) Extend(a, b Dist) Dist {
+	if a.Inf || b.Inf {
+		return Infinity
+	}
+	if a.V > math.MaxUint64-b.V {
+		return Dist{V: math.MaxUint64}
+	}
+	return Dist{V: a.V + b.V}
+}
+
+// Equal compares values.
+func (MinPlus) Equal(a, b Dist) bool { return a == b }
+
+// MaxMin is the bottleneck semiring ⟨ℕ∪{∞}, max, min, 0, ∞⟩: the widest
+// path / maximum bottleneck bandwidth problem, a weight domain beyond the
+// paper's latency/hops examples that the generic library supports for
+// free. Here Dist.Inf plays the role of "unlimited capacity" (the One) and
+// capacity 0 is the Zero (no path).
+type MaxMin struct{}
+
+// Zero returns capacity 0.
+func (MaxMin) Zero() Dist { return Dist{} }
+
+// One returns unlimited capacity.
+func (MaxMin) One() Dist { return Infinity }
+
+// Combine is maximum (prefer the wider path).
+func (MaxMin) Combine(a, b Dist) Dist {
+	switch {
+	case a.Inf:
+		return a
+	case b.Inf:
+		return b
+	case a.V >= b.V:
+		return a
+	default:
+		return b
+	}
+}
+
+// Extend is minimum (a path is as wide as its narrowest link).
+func (MaxMin) Extend(a, b Dist) Dist {
+	switch {
+	case a.Inf:
+		return b
+	case b.Inf:
+		return a
+	case a.V <= b.V:
+		return a
+	default:
+		return b
+	}
+}
+
+// Equal compares values.
+func (MaxMin) Equal(a, b Dist) bool { return a == b }
