@@ -108,6 +108,22 @@ func (p *PDS) AddRule(r Rule) {
 	p.byState = nil
 }
 
+// Freeze eagerly builds the rule indexes. A PDS shared by concurrent
+// readers (several saturations over one translated system) must be frozen
+// first: RulesFromState and RulesFrom otherwise build their indexes lazily
+// on first use, which is a data race when two saturators hit the same cold
+// index. AddRule after Freeze re-enters the lazy regime.
+func (p *PDS) Freeze() {
+	p.byState = make([][]int32, p.NumStates)
+	p.byHead = make(map[headKey][]int32, len(p.Rules))
+	for i := range p.Rules {
+		f := p.Rules[i].FromState
+		p.byState[f] = append(p.byState[f], int32(i))
+		k := headKey{f, p.Rules[i].FromSym}
+		p.byHead[k] = append(p.byHead[k], int32(i))
+	}
+}
+
 // RulesFromState returns the indices of rules whose head state is s; used
 // when matching rules against symbol-set transitions.
 func (p *PDS) RulesFromState(s State) []int32 {

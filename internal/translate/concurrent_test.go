@@ -1,0 +1,49 @@
+package translate_test
+
+import (
+	"sync"
+	"testing"
+
+	"aalwines/internal/gen"
+	"aalwines/internal/pds"
+	"aalwines/internal/query"
+	"aalwines/internal/translate"
+)
+
+// TestSharedSystemConcurrentSaturation saturates one translated system from
+// several goroutines at once, each with its own initial automaton. This is
+// the sharing pattern of the batch runner's translation cache; it is a race
+// regression test for the formerly lazy rule indexes of pds.PDS (run it
+// under -race).
+func TestSharedSystemConcurrentSaturation(t *testing.T) {
+	net := gen.RunningExample().Network
+	q, err := query.Parse("<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := translate.Build(net, q, translate.Options{Mode: translate.Over})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	verdicts := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := pds.PoststarBudget(sys.PDS, sys.InitAuto(), sys.Dim, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_, found := res.FindAccepting(sys.FinalStates, sys.FinalSpec)
+			verdicts[w] = found
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if verdicts[w] != verdicts[0] {
+			t.Fatalf("worker %d disagrees: %v vs %v", w, verdicts[w], verdicts[0])
+		}
+	}
+}

@@ -165,6 +165,9 @@ func (b *builder) construct() {
 	if !b.Opts.NoReductions {
 		b.reduce()
 	}
+	// Systems are shared read-only across concurrent saturations; freezing
+	// builds the rule indexes eagerly so no reader mutates the PDS.
+	b.PDS.Freeze()
 }
 
 // kindMask tracks the possible kinds of an unknown stack symbol.
