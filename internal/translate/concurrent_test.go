@@ -1,6 +1,7 @@
 package translate_test
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -9,6 +10,32 @@ import (
 	"aalwines/internal/query"
 	"aalwines/internal/translate"
 )
+
+// TestBuildDeterministic builds the same system repeatedly and demands
+// byte-identical rule sequences: cached (built-once) and uncached
+// (built-per-run) verifications must make identical tie-breaks among
+// equally minimal witnesses.
+func TestBuildDeterministic(t *testing.T) {
+	s := gen.Zoo(gen.ZooOpts{Routers: 30, Seed: 7, Protection: true})
+	for _, g := range s.Queries(6, 11) {
+		q, err := query.Parse(g.Text, s.Net)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Text, err)
+		}
+		for _, mode := range []translate.Mode{translate.Over, translate.Under} {
+			ref := translate.Build(s.Net, q, translate.Options{Mode: mode})
+			for i := 0; i < 3; i++ {
+				got := translate.Build(s.Net, q, translate.Options{Mode: mode})
+				if !reflect.DeepEqual(got.PDS.Rules, ref.PDS.Rules) {
+					t.Fatalf("%s mode=%d build %d: rule sequence differs", g.Text, mode, i)
+				}
+				if !reflect.DeepEqual(got.Steps, ref.Steps) {
+					t.Fatalf("%s mode=%d build %d: step table differs", g.Text, mode, i)
+				}
+			}
+		}
+	}
+}
 
 // TestSharedSystemConcurrentSaturation saturates one translated system from
 // several goroutines at once, each with its own initial automaton. This is

@@ -17,6 +17,8 @@
 package translate
 
 import (
+	"sort"
+
 	"aalwines/internal/labels"
 	"aalwines/internal/network"
 	"aalwines/internal/nfa"
@@ -241,13 +243,20 @@ func (b *builder) buildEntry(in topology.LinkID, top labels.ID, entry routing.En
 	tag := int32(len(b.Steps))
 	used := false
 	for qb := 0; qb < b.numB; qb++ {
-		targets := map[int]bool{}
+		// Collect distinct successor states in ascending order: map
+		// iteration order would make the rule order — and hence tie-breaks
+		// among equally minimal witnesses — vary between builds of the same
+		// (network, query), and batch results must reproduce serial ones.
+		seen := map[int]bool{}
+		var targets []int
 		for _, arc := range b.pathNFA.Arcs(qb) {
-			if arc.Set.Has(linkSym) {
-				targets[arc.To] = true
+			if arc.Set.Has(linkSym) && !seen[arc.To] {
+				seen[arc.To] = true
+				targets = append(targets, arc.To)
 			}
 		}
-		for q2 := range targets {
+		sort.Ints(targets)
+		for _, q2 := range targets {
 			for f := 0; f < b.kBudget; f++ {
 				f2 := f
 				if b.Opts.Mode == Under {
