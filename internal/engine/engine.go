@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -68,6 +69,14 @@ type Options struct {
 	Budget int64
 	// Saturate overrides the saturation backend (nil = pds.PoststarBudget).
 	Saturate Saturator
+	// Cache, when non-nil and bound to the verified network, memoizes
+	// translated systems across runs: the pushdown system is built once per
+	// (query, direction, spec, reductions) and shared read-only, with a
+	// fresh initial automaton cloned per run. Used by the batch runner; any
+	// long-lived caller verifying many queries against one network can set
+	// it. Runs with a Dist override bypass the cache (functions are not
+	// keyable).
+	Cache *translate.Cache
 }
 
 // Stats reports sizes and timings of a run.
@@ -102,28 +111,54 @@ var ErrBudget = pds.ErrBudget
 
 // Verify runs the full pipeline for a query on a network.
 func Verify(net *network.Network, q *query.Query, opts Options) (Result, error) {
+	return VerifyCtx(context.Background(), net, q, opts)
+}
+
+// VerifyCtx is Verify with cooperative cancellation: when ctx is cancelled
+// (or its deadline passes) the run aborts between phases and inside
+// saturation, returning ctx's error. Cancellation only applies to the
+// default saturation backend; an explicit Saturate override is still
+// bounded by Budget and checked between phases.
+func VerifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts Options) (Result, error) {
 	sat := opts.Saturate
 	if sat == nil {
-		sat = pds.PoststarBudget
+		stop := ctx.Done()
+		sat = func(p *pds.PDS, init *pds.Auto, dim int, budget int64) (*pds.Result, error) {
+			return pds.PoststarStop(p, init, dim, budget, stop)
+		}
+	}
+	build := func(mode translate.Mode) (*translate.System, *pds.Auto) {
+		topts := translate.Options{
+			Mode:         mode,
+			Spec:         opts.Spec,
+			Dist:         opts.Dist,
+			NoReductions: opts.NoReductions,
+		}
+		if opts.Cache != nil && opts.Cache.Net() == net {
+			return opts.Cache.Get(q, topts)
+		}
+		sys := translate.Build(net, q, topts)
+		return sys, sys.InitAuto()
 	}
 	var res Result
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// Over-approximation.
 	t0 := time.Now()
-	over := translate.Build(net, q, translate.Options{
-		Mode:         translate.Over,
-		Spec:         opts.Spec,
-		Dist:         opts.Dist,
-		NoReductions: opts.NoReductions,
-	})
+	over, overInit := build(translate.Over)
 	res.Stats.BuildTime = time.Since(t0)
 	res.Stats.OverRules = len(over.PDS.Rules)
 	res.Stats.OverRulesPre = over.RulesBeforeReduction
 
 	t1 := time.Now()
-	overRes, err := sat(over.PDS, over.InitAuto(), over.Dim, opts.Budget)
+	overRes, err := sat(over.PDS, overInit, over.Dim, opts.Budget)
 	res.Stats.OverTime = time.Since(t1)
 	if err != nil {
+		if cerr := ctxError(ctx, err); cerr != nil {
+			return res, cerr
+		}
 		return res, fmt.Errorf("engine: over-approximation: %w", err)
 	}
 	res.Stats.TransOver = overRes.Auto.NumTrans()
@@ -154,20 +189,21 @@ func Verify(net *network.Network, q *query.Query, opts Options) (Result, error) 
 		res.Verdict = Inconclusive
 		return res, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// Under-approximation with a global failure budget.
 	res.Stats.UnderUsed = true
-	under := translate.Build(net, q, translate.Options{
-		Mode:         translate.Under,
-		Spec:         opts.Spec,
-		Dist:         opts.Dist,
-		NoReductions: opts.NoReductions,
-	})
+	under, underInit := build(translate.Under)
 	res.Stats.UnderRules = len(under.PDS.Rules)
 	t3 := time.Now()
-	underRes, err := sat(under.PDS, under.InitAuto(), under.Dim, opts.Budget)
+	underRes, err := sat(under.PDS, underInit, under.Dim, opts.Budget)
 	res.Stats.UnderTime = time.Since(t3)
 	if err != nil {
+		if cerr := ctxError(ctx, err); cerr != nil {
+			return res, cerr
+		}
 		return res, fmt.Errorf("engine: under-approximation: %w", err)
 	}
 	res.Stats.TransUnder = underRes.Auto.NumTrans()
@@ -194,6 +230,18 @@ func Verify(net *network.Network, q *query.Query, opts Options) (Result, error) 
 }
 
 var errDecode = errors.New("engine: witness decoding failed")
+
+// ctxError translates a saturation stop triggered by ctx into ctx's own
+// error (context.Canceled or DeadlineExceeded); it returns nil for
+// unrelated saturation failures.
+func ctxError(ctx context.Context, err error) error {
+	if errors.Is(err, pds.ErrStopped) {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
 
 func decode(sys *translate.System, r *pds.Result, acc pds.Accepted) (network.Trace, error) {
 	init, rules, err := r.Reconstruct(acc)

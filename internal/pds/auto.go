@@ -89,6 +89,58 @@ func NewAuto(p *PDS) *Auto {
 	}
 }
 
+// Clone returns an independent copy of the automaton that can be saturated
+// while the original (and other clones) are used concurrently. State and
+// edge bookkeeping is copied; symbol sets and witness records are shared,
+// which is safe because both are immutable once created — weighted inputs
+// must be normalised with NormalizeWeights before cloning so saturation
+// never rewrites a shared record's weight in place.
+func (a *Auto) Clone() *Auto {
+	b := &Auto{
+		PDSStates: a.PDSStates,
+		NumSyms:   a.NumSyms,
+		numStates: a.numStates,
+		accept:    append([]bool(nil), a.accept...),
+		out:       make([][]Edge, len(a.out)),
+		index:     make(map[Trans]int32, len(a.index)),
+		sets:      append([]*nfa.Set(nil), a.sets...),
+		setIdx:    make(map[string]Sym, len(a.setIdx)),
+	}
+	for i, es := range a.out {
+		b.out[i] = append([]Edge(nil), es...)
+	}
+	for k, v := range a.index {
+		b.index[k] = v
+	}
+	for k, v := range a.setIdx {
+		b.setIdx[k] = v
+	}
+	return b
+}
+
+// NormalizeWeights gives every weightless transition an explicit zero
+// vector of the given dimension. A nil weight means the semiring one (no
+// cost), but Insert's improvement test reads nil as +∞ — an unweighted edge
+// could then be "improved" by a rule-derived weight, corrupting minimality.
+// Saturation normalises its input automatically; pre-normalising a pristine
+// automaton before Clone keeps shared witness records immutable.
+func (a *Auto) NormalizeWeights(dim int) {
+	if dim == 0 {
+		return
+	}
+	for s := 0; s < a.numStates; s++ {
+		out := a.out[s]
+		for i := range out {
+			if out[i].Weight == nil {
+				out[i].Weight = make([]uint64, dim)
+				if out[i].Wit != nil {
+					out[i].Wit.Weight = out[i].Weight
+				}
+			}
+		}
+	}
+}
+
 // AddState appends a fresh non-accepting extra state.
 func (a *Auto) AddState() State {
 	a.numStates++

@@ -37,10 +37,22 @@ func Poststar(p *PDS, init *Auto, dim int) (*Result, error) {
 // exhausted; it plays the role of the experiment timeout.
 var ErrBudget = errors.New("pds: post* work budget exhausted")
 
+// ErrStopped is returned by PoststarStop when the stop channel closes
+// before saturation completes; the engine maps it to the caller's context
+// error.
+var ErrStopped = errors.New("pds: post* stopped")
+
 // PoststarBudget is Poststar with a cooperative work budget: a positive
 // budget bounds the number of worklist pops before the computation aborts
 // with ErrBudget.
 func PoststarBudget(p *PDS, init *Auto, dim int, budget int64) (*Result, error) {
+	return PoststarStop(p, init, dim, budget, nil)
+}
+
+// PoststarStop is PoststarBudget with cooperative cancellation: when stop
+// is non-nil and closes, the computation aborts with ErrStopped at the next
+// check (every stopCheckEvery worklist pops).
+func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{}) (*Result, error) {
 	if err := init.Validate(); err != nil {
 		return nil, err
 	}
@@ -51,24 +63,7 @@ func PoststarBudget(p *PDS, init *Auto, dim int, budget int64) (*Result, error) 
 		}
 		return make([]uint64, dim)
 	}
-	if dim > 0 {
-		// Normalise initial transitions: a nil weight means the semiring
-		// one (no cost), but Insert's improvement test reads nil as +∞ —
-		// an unweighted edge could then be "improved" by a rule-derived
-		// weight, corrupting minimality. Give every weightless initial
-		// edge an explicit zero vector.
-		for s := 0; s < a.NumStates(); s++ {
-			out := a.out[s]
-			for i := range out {
-				if out[i].Weight == nil {
-					out[i].Weight = one()
-					if out[i].Wit != nil {
-						out[i].Wit.Weight = out[i].Weight
-					}
-				}
-			}
-		}
-	}
+	a.NormalizeWeights(dim)
 
 	// mid states q_{p′,γ′}, one per (ToState, Sym1) of push rules.
 	mids := map[[2]uint32]State{}
@@ -140,10 +135,20 @@ func PoststarBudget(p *PDS, init *Auto, dim int, budget int64) (*Result, error) 
 		}
 	}
 
+	// stopCheckEvery spaces out the non-blocking channel polls; 1024 pops
+	// keeps the overhead invisible while bounding cancellation latency.
+	const stopCheckEvery = 1024
 	var work int64
 	for len(queue) > 0 {
 		if work++; budget > 0 && work > budget {
 			return nil, ErrBudget
+		}
+		if stop != nil && work%stopCheckEvery == 0 {
+			select {
+			case <-stop:
+				return nil, ErrStopped
+			default:
+			}
 		}
 		t := queue[0]
 		queue = queue[1:]

@@ -1,0 +1,109 @@
+package translate
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"aalwines/internal/network"
+	"aalwines/internal/pds"
+	"aalwines/internal/query"
+	"aalwines/internal/weight"
+)
+
+// Cache memoizes translated systems for one network so that many
+// verification runs (typically a batch sweep) build each pushdown system
+// once and share it read-only. A built System is immutable — Build freezes
+// the PDS rule indexes — and the cached pristine initial automaton is
+// handed out as a Clone per run, so concurrent saturations never touch
+// shared mutable state.
+//
+// Entries are keyed by (compiled query, direction, weight spec, reduction
+// flag). The compiled query is keyed by pointer identity: callers that want
+// textual deduplication (the batch runner does) parse each distinct query
+// text once and reuse the *query.Query. The failure bound k is part of the
+// compiled query, so it needs no separate key component. Options with a
+// Dist function are not keyable (functions have no identity); Get then
+// builds fresh without caching.
+type Cache struct {
+	net    *network.Network
+	misses atomic.Int64
+	gets   atomic.Int64
+
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	q            *query.Query
+	mode         Mode
+	spec         string // rendering of the weight spec; "" = unweighted
+	noReductions bool
+}
+
+type cacheEntry struct {
+	once sync.Once
+	sys  *System
+	init *pds.Auto // pristine, weight-normalised; cloned per run
+}
+
+// NewCache returns an empty cache bound to the network.
+func NewCache(net *network.Network) *Cache {
+	return &Cache{net: net, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Net returns the network the cache is bound to.
+func (c *Cache) Net() *network.Network { return c.net }
+
+// Get returns the translated system for (q, opts) and a fresh initial
+// automaton for it, building and memoizing on first use. The returned
+// System must be treated as read-only; the automaton is private to the
+// caller. Concurrent callers with the same key block until the single
+// build completes.
+func (c *Cache) Get(q *query.Query, opts Options) (*System, *pds.Auto) {
+	c.gets.Add(1)
+	if opts.Dist != nil {
+		c.misses.Add(1)
+		sys := Build(c.net, q, opts)
+		return sys, sys.InitAuto()
+	}
+	key := cacheKey{q: q, mode: opts.Mode, spec: specString(opts.Spec), noReductions: opts.NoReductions}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.misses.Add(1)
+		e.sys = Build(c.net, q, opts)
+		e.init = e.sys.InitAuto()
+		// Pre-normalise weights so saturating a clone never rewrites a
+		// witness record shared with the pristine automaton.
+		e.init.NormalizeWeights(e.sys.Dim)
+	})
+	return e.sys, e.init.Clone()
+}
+
+// CacheStats summarises cache effectiveness.
+type CacheStats struct {
+	Entries int
+	Gets    int64
+	Misses  int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{Entries: n, Gets: c.gets.Load(), Misses: c.misses.Load()}
+}
+
+func specString(s weight.Spec) string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%v", s)
+}
