@@ -7,8 +7,10 @@ package aalwines
 // api_test.go contract tests.
 
 import (
+	"context"
 	"io"
 
+	"aalwines/internal/batch"
 	"aalwines/internal/engine"
 	"aalwines/internal/gen"
 	"aalwines/internal/gml"
@@ -81,6 +83,35 @@ func Verify(net *Network, q *Query, opts Options) (Result, error) {
 // VerifyText parses and verifies a textual query in one call.
 func VerifyText(net *Network, queryText string, opts Options) (Result, error) {
 	return engine.VerifyText(net, queryText, opts)
+}
+
+// BatchOptions configure VerifyBatch: worker count (default GOMAXPROCS),
+// per-query deadline and the per-query engine options.
+type BatchOptions = batch.Options
+
+// BatchResult is one query's outcome in a batch, in input order.
+type BatchResult = batch.Result
+
+// BatchRunner verifies batches against one network while keeping parsed
+// queries and translated pushdown systems cached between calls; it is safe
+// for concurrent use. Build one with NewBatchRunner when issuing repeated
+// batches (an interactive session or a server); one-shot callers can use
+// VerifyBatch directly.
+type BatchRunner = batch.Runner
+
+// NewBatchRunner returns a reusable batch runner bound to the network.
+func NewBatchRunner(net *Network) *BatchRunner {
+	return batch.NewRunner(net)
+}
+
+// VerifyBatch verifies many queries against one network concurrently on a
+// bounded worker pool, building each pushdown system once and sharing it
+// read-only across workers. Results are deterministic: same order as the
+// input and identical verdicts/witnesses to serial Verify runs regardless
+// of the worker count. Cancelling ctx stops the batch; unfinished queries
+// report the context's error in their Result.
+func VerifyBatch(ctx context.Context, net *Network, queries []string, opts BatchOptions) []BatchResult {
+	return batch.Verify(ctx, net, queries, opts)
 }
 
 // ReadXML loads a network from the vendor-agnostic XML format of

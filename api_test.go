@@ -2,6 +2,7 @@ package aalwines_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -20,6 +21,49 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	if len(res.Trace) != 4 {
 		t.Fatalf("trace = %s", res.Trace.Format(net))
+	}
+}
+
+// TestPublicAPIVerifyBatch covers the batch entry point: deterministic
+// ordering, serial-identical verdicts and a reusable runner.
+func TestPublicAPIVerifyBatch(t *testing.T) {
+	net := aalwines.RunningExample()
+	queries := []string{
+		"<ip> [.#v0] .* [v3#.] <ip> 0",
+		"<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+		"<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 0",
+		"<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 1",
+	}
+	serial := make([]aalwines.Verdict, len(queries))
+	for i, q := range queries {
+		res, err := aalwines.VerifyText(net, q, aalwines.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res.Verdict
+	}
+	for _, workers := range []int{1, 4} {
+		results := aalwines.VerifyBatch(context.Background(), net, queries,
+			aalwines.BatchOptions{Workers: workers})
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d %q: %v", workers, r.Query, r.Err)
+			}
+			if r.Index != i || r.Query != queries[i] {
+				t.Fatalf("workers=%d: result %d out of order", workers, i)
+			}
+			if r.Res.Verdict != serial[i] {
+				t.Errorf("workers=%d %q: verdict %v, serial %v", workers, r.Query, r.Res.Verdict, serial[i])
+			}
+		}
+	}
+	runner := aalwines.NewBatchRunner(net)
+	for sweep := 0; sweep < 2; sweep++ {
+		for i, r := range runner.Verify(context.Background(), queries, aalwines.BatchOptions{Workers: 2}) {
+			if r.Err != nil || r.Res.Verdict != serial[i] {
+				t.Fatalf("runner sweep %d query %d: err=%v verdict=%v", sweep, i, r.Err, r.Res.Verdict)
+			}
+		}
 	}
 }
 

@@ -20,10 +20,13 @@
 package aalwines
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"aalwines/internal/batch"
 	"aalwines/internal/engine"
 	"aalwines/internal/experiments"
 	"aalwines/internal/explicit"
@@ -112,6 +115,84 @@ func BenchmarkFigure4(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+var (
+	batchOnce     sync.Once
+	batchNet      *gen.Synth
+	batchTexts    []string
+	batchVerdicts []engine.Verdict
+)
+
+// benchBatchWorkload returns the shared batch workload — the synthetic WAN
+// (Topology-Zoo style, 84 routers) with a 24-query what-if sweep — plus
+// the serial reference verdicts every batch run is checked against.
+func benchBatchWorkload(tb testing.TB) (*gen.Synth, []string, []engine.Verdict) {
+	batchOnce.Do(func() {
+		batchNet = gen.Zoo(gen.ZooOpts{Routers: 84, Seed: 2, Protection: true})
+		for _, q := range batchNet.Queries(24, 7) {
+			batchTexts = append(batchTexts, q.Text)
+		}
+		for _, text := range batchTexts {
+			res, err := engine.VerifyText(batchNet.Net, text, engine.Options{Budget: benchBudget})
+			if err != nil {
+				tb.Fatalf("%q: %v", text, err)
+			}
+			batchVerdicts = append(batchVerdicts, res.Verdict)
+		}
+	})
+	return batchNet, batchTexts, batchVerdicts
+}
+
+// BenchmarkBatchVerify measures batch-verification throughput on the
+// synthetic WAN workload: the serial baseline runs the sweep through plain
+// engine.VerifyText (a fresh parse and translation per query, as the CLI
+// did before the batch runner existed); the workers=N variants run the
+// same sweep through a warm batch.Runner, which amortises parsing and
+// translation across the sweep and fans queries out over the pool. Every
+// batch run is checked to reproduce the serial verdicts.
+func BenchmarkBatchVerify(b *testing.B) {
+	s, texts, verdicts := benchBatchWorkload(b)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for qi, text := range texts {
+				res, err := engine.VerifyText(s.Net, text, engine.Options{Budget: benchBudget})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Verdict != verdicts[qi] {
+					b.Fatalf("%q: verdict %v, want %v", text, res.Verdict, verdicts[qi])
+				}
+			}
+		}
+	})
+	workerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runner := batch.NewRunner(s.Net)
+			opts := batch.Options{Workers: workers, Engine: engine.Options{Budget: benchBudget}}
+			check := func(results []batch.Result) {
+				for qi, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%q: %v", r.Query, r.Err)
+					}
+					if r.Res.Verdict != verdicts[qi] {
+						b.Fatalf("%q: verdict %v, want %v", r.Query, r.Res.Verdict, verdicts[qi])
+					}
+				}
+			}
+			// Warm sweep: fills the translation cache (steady-state
+			// throughput is what an interactive session sees).
+			check(runner.Verify(context.Background(), texts, opts))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				check(runner.Verify(context.Background(), texts, opts))
+			}
+		})
 	}
 }
 

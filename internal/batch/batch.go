@@ -1,0 +1,173 @@
+// Package batch runs many queries against one network concurrently: the
+// what-if workflow of the paper's §5 asks dozens of queries about a single
+// network snapshot, and those runs share almost all of their work. A
+// Runner owns a per-network translation cache (internal/translate.Cache)
+// so each pushdown system is built once and shared read-only across a
+// bounded worker pool; per-query deadlines and batch-wide cancellation are
+// threaded through context.Context; results come back in input order, and
+// every verdict and witness is identical to what a serial run of
+// engine.Verify would produce (translation and witness search are
+// deterministic — see DESIGN.md, "Concurrency model").
+package batch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/network"
+	"aalwines/internal/query"
+	"aalwines/internal/translate"
+)
+
+// Options configure one batch run.
+type Options struct {
+	// Workers bounds the worker pool; 0 means runtime.GOMAXPROCS(0). The
+	// pool is additionally clamped to the batch size.
+	Workers int
+	// Timeout is the per-query wall-clock deadline (0 = none); an expired
+	// deadline surfaces as context.DeadlineExceeded on that query's Result
+	// without affecting the rest of the batch.
+	Timeout time.Duration
+	// Engine is the per-query engine configuration. Its Cache field is
+	// overridden with the runner's shared translation cache.
+	Engine engine.Options
+}
+
+// Result is the outcome of one query in a batch.
+type Result struct {
+	// Index is the query's position in the input slice.
+	Index int
+	// Query is the query text as given.
+	Query string
+	// Res is the engine result when Err is nil.
+	Res engine.Result
+	// Err is the per-query failure: a parse error, engine.ErrBudget (via
+	// wrapping), context.DeadlineExceeded for an expired per-query
+	// deadline, or the batch context's error for queries cancelled before
+	// or during their run.
+	Err error
+	// Elapsed is the query's wall-clock verification time.
+	Elapsed time.Duration
+}
+
+// Runner verifies batches of queries against one network. It holds the
+// network's compiled state — parsed queries and translated pushdown
+// systems — so repeated batches (an interactive what-if session, the HTTP
+// API, the experiment sweeps) amortise translation across runs. A Runner
+// is safe for concurrent use; overlapping Verify calls share the caches.
+type Runner struct {
+	net   *network.Network
+	cache *translate.Cache
+
+	mu     sync.Mutex
+	parsed map[string]*parseEntry
+}
+
+type parseEntry struct {
+	once sync.Once
+	q    *query.Query
+	err  error
+}
+
+// NewRunner returns a runner bound to the network.
+func NewRunner(net *network.Network) *Runner {
+	return &Runner{
+		net:    net,
+		cache:  translate.NewCache(net),
+		parsed: make(map[string]*parseEntry),
+	}
+}
+
+// Network returns the network the runner is bound to.
+func (r *Runner) Network() *network.Network { return r.net }
+
+// CacheStats reports the translation cache counters.
+func (r *Runner) CacheStats() translate.CacheStats { return r.cache.Stats() }
+
+// parse memoizes query compilation by text. Identical texts share one
+// compiled query, which also makes them share one translation cache entry
+// (the cache keys on compiled-query identity).
+func (r *Runner) parse(text string) (*query.Query, error) {
+	r.mu.Lock()
+	e := r.parsed[text]
+	if e == nil {
+		e = &parseEntry{}
+		r.parsed[text] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.q, e.err = query.Parse(text, r.net)
+	})
+	return e.q, e.err
+}
+
+// Verify runs the queries on a bounded worker pool and returns one Result
+// per query, in input order regardless of scheduling. Cancelling ctx stops
+// the batch: queries not yet finished report the context's error.
+func (r *Runner) Verify(ctx context.Context, queries []string, opts Options) []Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	eopts := opts.Engine
+	eopts.Cache = r.cache
+
+	results := make([]Result, len(queries))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = r.one(ctx, i, queries[i], opts.Timeout, eopts)
+			}
+		}()
+	}
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// one verifies a single query under the batch context plus the per-query
+// deadline.
+func (r *Runner) one(ctx context.Context, i int, text string, timeout time.Duration, eopts engine.Options) Result {
+	res := Result{Index: i, Query: text}
+	t0 := time.Now()
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		res.Elapsed = time.Since(t0)
+		return res
+	}
+	q, err := r.parse(text)
+	if err != nil {
+		res.Err = err
+		res.Elapsed = time.Since(t0)
+		return res
+	}
+	qctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res.Res, res.Err = engine.VerifyCtx(qctx, r.net, q, eopts)
+	res.Elapsed = time.Since(t0)
+	return res
+}
+
+// Verify is the one-shot entry: it builds a throwaway runner and runs the
+// batch. Callers issuing repeated batches should keep a Runner instead so
+// translations persist between calls.
+func Verify(ctx context.Context, net *network.Network, queries []string, opts Options) []Result {
+	return NewRunner(net).Verify(ctx, queries, opts)
+}
