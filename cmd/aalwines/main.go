@@ -3,6 +3,10 @@
 // built-in generators), parses a reachability query and reports whether the
 // query is satisfied, together with a (minimum) witness trace.
 //
+// With -queries FILE (one query per line, '#' starts a comment) it runs a
+// whole batch on a bounded worker pool, sharing the translated pushdown
+// systems across queries; -j sets the worker count.
+//
 // Examples:
 //
 //	aalwines -net running-example -query '<ip> [.#v0] .* [v3#.] <ip> 0'
@@ -10,14 +14,19 @@
 //	    -query '<smpls ip> [.#sto1] .* [.#lon1] <smpls ip> 1' \
 //	    -weight 'Hops, Failures + 3*Tunnels' -json
 //	aalwines -topo topo.xml -routing route.xml -query '...' -engine moped
+//	aalwines -net zoo -routers 84 -queries what-if.q -j 4 -json
 //	aalwines -net zoo -routers 84 -write-topology topo.xml -write-routing route.xml
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"aalwines/internal/batch"
 	"aalwines/internal/cli"
 	"aalwines/internal/engine"
 	"aalwines/internal/loc"
@@ -48,6 +57,10 @@ func run() error {
 	flag.IntVar(&nf.Edge, "edge", 0, "edge router count for generated networks")
 
 	queryText := flag.String("query", "", "reachability query <a> b <c> k")
+	queriesFile := flag.String("queries", "", "file with one query per line ('#' comments); runs them as a batch")
+	workers := flag.Int("j", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
+	flag.IntVar(workers, "parallel", 0, "alias for -j")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query wall-clock deadline for -queries batches (0 = none)")
 	engineName := flag.String("engine", "dual", "saturation backend: dual or moped")
 	weightSpec := flag.String("weight", "", "minimisation vector, e.g. 'Hops, Failures + 3*Tunnels'")
 	useDistance := flag.Bool("geo-distance", false, "use great-circle distances for the Distance quantity")
@@ -84,11 +97,11 @@ func run() error {
 		}
 		wrote = true
 	}
-	if *queryText == "" {
+	if *queryText == "" && *queriesFile == "" {
 		if wrote {
 			return nil
 		}
-		return fmt.Errorf("no -query given (and nothing to write)")
+		return fmt.Errorf("no -query or -queries given (and nothing to write)")
 	}
 
 	opts := engine.Options{NoReductions: *noReductions, Budget: *budget}
@@ -113,6 +126,33 @@ func run() error {
 		return fmt.Errorf("unknown engine %q", *engineName)
 	}
 
+	if *queriesFile != "" {
+		if *dotOut != "" {
+			return fmt.Errorf("-dot is not supported with -queries")
+		}
+		texts, err := readQueries(*queriesFile)
+		if err != nil {
+			return err
+		}
+		if *queryText != "" {
+			texts = append(texts, *queryText)
+		}
+		if len(texts) == 0 {
+			return fmt.Errorf("%s: no queries", *queriesFile)
+		}
+		results := batch.Verify(context.Background(), net, texts, batch.Options{
+			Workers: *workers, Timeout: *queryTimeout, Engine: opts,
+		})
+		failed, err := cli.PrintBatch(os.Stdout, net, results, *asJSON)
+		if err != nil {
+			return err
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d queries failed", failed, len(texts))
+		}
+		return nil
+	}
+
 	res, err := engine.VerifyText(net, *queryText, opts)
 	if err != nil {
 		return err
@@ -126,6 +166,26 @@ func run() error {
 		}
 	}
 	return cli.PrintResult(os.Stdout, net, *queryText, res, *asJSON)
+}
+
+// readQueries reads one query per line; blank lines and lines starting
+// with '#' are skipped.
+func readQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var texts []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		texts = append(texts, line)
+	}
+	return texts, sc.Err()
 }
 
 func writeFile(path string, f func(*os.File) error) error {

@@ -7,7 +7,8 @@
 //	          -topo extra-topo.xml -routing extra-route.xml
 //
 // Endpoints: GET /api/networks, GET /api/networks/{name}/topology,
-// POST /api/verify, GET /healthz. See internal/httpapi for the schema.
+// POST /api/verify, POST /api/verify-batch, GET /healthz. See
+// internal/httpapi for the schema.
 package main
 
 import (
@@ -44,10 +45,12 @@ func run() error {
 	flag.IntVar(&nf.Edge, "edge", 0, "edge router count")
 	listen := flag.String("listen", ":8080", "listen address")
 	budget := flag.Int64("max-budget", 200_000_000, "per-request saturation budget (0 = unlimited)")
+	parallel := flag.Int("parallel", 0, "worker cap for /api/verify-batch requests (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	srv := httpapi.NewServer()
 	srv.MaxBudget = *budget
+	srv.Parallel = *parallel
 
 	// The builtin network always loads; XML files add a second network.
 	builtinOnly := nf

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"aalwines/internal/batch"
 	"aalwines/internal/engine"
 	"aalwines/internal/gen"
 	"aalwines/internal/gml"
@@ -209,6 +210,59 @@ func ToJSON(net *network.Network, queryText string, res engine.Result) ResultJSO
 
 func ms(d interface{ Seconds() float64 }) float64 {
 	return d.Seconds() * 1000
+}
+
+// BatchItemJSON is one query's outcome in a batch run: a ResultJSON on
+// success, or the query text plus an error string on failure.
+type BatchItemJSON struct {
+	ResultJSON
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// BatchToJSON converts batch results, preserving input order.
+func BatchToJSON(net *network.Network, results []batch.Result) []BatchItemJSON {
+	out := make([]BatchItemJSON, len(results))
+	for i, r := range results {
+		item := BatchItemJSON{ElapsedMS: r.Elapsed.Seconds() * 1000}
+		if r.Err != nil {
+			item.ResultJSON = ResultJSON{Query: r.Query}
+			item.Error = r.Err.Error()
+		} else {
+			item.ResultJSON = ToJSON(net, r.Query, r.Res)
+		}
+		out[i] = item
+	}
+	return out
+}
+
+// PrintBatch renders batch results either as a JSON array or as
+// blank-line-separated human-readable blocks. It returns the number of
+// queries that failed (parse errors, budget or deadline exhaustion).
+func PrintBatch(w io.Writer, net *network.Network, results []batch.Result, asJSON bool) (failed int, err error) {
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return failed, enc.Encode(BatchToJSON(net, results))
+	}
+	for i, r := range results {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if r.Err != nil {
+			fmt.Fprintf(w, "query:   %s\nerror:   %v\n", r.Query, r.Err)
+			continue
+		}
+		if err := PrintResult(w, net, r.Query, r.Res, false); err != nil {
+			return failed, err
+		}
+	}
+	return failed, nil
 }
 
 // PrintResult renders a result either as JSON or human-readable text.

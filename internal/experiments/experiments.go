@@ -8,12 +8,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 	"time"
 
+	"aalwines/internal/batch"
 	"aalwines/internal/engine"
 	"aalwines/internal/gen"
 	"aalwines/internal/moped"
@@ -178,10 +179,11 @@ type Figure4Config struct {
 	Seed      int64
 	Budget    int64 // per-direction saturation budget (timeout analogue)
 	MaxRouter int   // cap on network size (0 = the paper's 240)
-	// Parallel runs the experiments on this many worker goroutines
-	// (networks are immutable, so verification is embarrassingly
-	// parallel). 0 or 1 = sequential; parallel runs trade per-measurement
-	// timing fidelity for wall-clock throughput.
+	// Parallel is the batch worker pool per (network, engine) sweep; the
+	// sweep runs on a per-network batch.Runner, so the three engines share
+	// each network's translated pushdown systems. 0 or 1 = sequential;
+	// parallel runs trade per-measurement timing fidelity for wall-clock
+	// throughput.
 	Parallel int
 }
 
@@ -217,44 +219,42 @@ func Figure4(cfg Figure4Config) *Figure4Result {
 		}
 	}
 	res := &Figure4Result{}
-	type job struct {
-		s *gen.Synth
-		q gen.GenQuery
-		k EngineKind
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
 	}
-	var jobs []job
+	var measurements []Measurement
 	for i, size := range sizes {
 		s := gen.Zoo(gen.ZooOpts{Routers: size, Seed: cfg.Seed + int64(i), Protection: true})
-		for _, q := range s.Queries(cfg.PerNet, cfg.Seed+int64(1000+i)) {
-			res.Total++
-			for k := EngineKind(0); k < NumEngines; k++ {
-				jobs = append(jobs, job{s, q, k})
+		qs := s.Queries(cfg.PerNet, cfg.Seed+int64(1000+i))
+		res.Total += len(qs)
+		texts := make([]string, len(qs))
+		for j, q := range qs {
+			texts[j] = q.Text
+		}
+		// One runner per network: the three engine sweeps reuse each
+		// other's translations (the cache keys on query, direction and
+		// weight spec, not on the saturation backend).
+		runner := batch.NewRunner(s.Net)
+		for k := EngineKind(0); k < NumEngines; k++ {
+			rs := runner.Verify(context.Background(), texts, batch.Options{
+				Workers: workers, Engine: k.Options(cfg.Budget),
+			})
+			for j, r := range rs {
+				m := Measurement{
+					Engine: k, Query: qs[j], Network: s.Net.Name,
+					Time: r.Elapsed, Verdict: r.Res.Verdict,
+				}
+				if r.Err != nil {
+					if isBudget(r.Err) {
+						m.TimedOut = true
+					} else {
+						m.Err = r.Err
+					}
+				}
+				measurements = append(measurements, m)
 			}
 		}
-	}
-	measurements := make([]Measurement, len(jobs))
-	if cfg.Parallel <= 1 {
-		for i, j := range jobs {
-			measurements[i] = RunOne(j.s, j.q, j.k, cfg.Budget)
-		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < cfg.Parallel; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					j := jobs[i]
-					measurements[i] = RunOne(j.s, j.q, j.k, cfg.Budget)
-				}
-			}()
-		}
-		for i := range jobs {
-			work <- i
-		}
-		close(work)
-		wg.Wait()
 	}
 	for _, m := range measurements {
 		if m.Err != nil || m.TimedOut {

@@ -7,14 +7,19 @@
 //	GET  /api/networks/{name}/topology  → routers (with coordinates) + links
 //	POST /api/verify                    → run a query, returns the verdict,
 //	                                      witness trace and timings
+//	POST /api/verify-batch              → run many queries on a worker pool
 //	GET  /healthz                       → liveness probe
 //
 // Networks are immutable after registration, so verification requests run
-// concurrently without locking.
+// concurrently without locking. Each network gets a batch.Runner whose
+// translation cache is shared by all verification requests — repeated
+// what-if queries from the GUI skip the pushdown-system construction.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -22,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"aalwines/internal/batch"
 	"aalwines/internal/cli"
 	"aalwines/internal/engine"
 	"aalwines/internal/loc"
@@ -35,14 +41,21 @@ import (
 type Server struct {
 	mu       sync.RWMutex
 	networks map[string]*network.Network
+	runners  map[string]*batch.Runner
 	// MaxBudget caps per-request saturation work (0 = unlimited); requests
 	// may lower it but not exceed it.
 	MaxBudget int64
+	// Parallel caps the worker pool of a batch request (0 = GOMAXPROCS);
+	// requests may ask for fewer workers but not more.
+	Parallel int
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{networks: make(map[string]*network.Network)}
+	return &Server{
+		networks: make(map[string]*network.Network),
+		runners:  make(map[string]*batch.Runner),
+	}
 }
 
 // Register adds a network under its name.
@@ -50,6 +63,7 @@ func (s *Server) Register(net *network.Network) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.networks[net.Name] = net
+	s.runners[net.Name] = batch.NewRunner(net)
 }
 
 // Handler returns the HTTP handler with all routes mounted.
@@ -62,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/networks", s.handleList)
 	mux.HandleFunc("GET /api/networks/{name}/topology", s.handleTopology)
 	mux.HandleFunc("POST /api/verify", s.handleVerify)
+	mux.HandleFunc("POST /api/verify-batch", s.handleVerifyBatch)
 	return mux
 }
 
@@ -111,7 +126,7 @@ type LinkJSON struct {
 }
 
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
-	net := s.lookup(r.PathValue("name"))
+	net, _ := s.lookup(r.PathValue("name"))
 	if net == nil {
 		writeError(w, http.StatusNotFound, "unknown network")
 		return
@@ -153,13 +168,49 @@ type VerifyRequest struct {
 	NoReductions bool `json:"noReductions,omitempty"`
 }
 
+// engineOptions validates the engine-facing request fields shared by the
+// single and batch verify endpoints. On failure it writes a 400 and
+// returns ok=false.
+func (s *Server) engineOptions(w http.ResponseWriter, net *network.Network,
+	weightStr, engineName string, budget int64, geo, noReductions bool) (engine.Options, bool) {
+	opts := engine.Options{NoReductions: noReductions}
+	opts.Budget = s.MaxBudget
+	if budget > 0 && (s.MaxBudget == 0 || budget < s.MaxBudget) {
+		opts.Budget = budget
+	}
+	if weightStr != "" {
+		spec, err := weight.ParseSpec(weightStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return opts, false
+		}
+		opts.Spec = spec
+	}
+	if geo {
+		opts.Dist = loc.DistanceFunc(net)
+	}
+	switch engineName {
+	case "", "dual":
+	case "moped":
+		if opts.Spec != nil {
+			writeError(w, http.StatusBadRequest, "the moped engine does not support weights")
+			return opts, false
+		}
+		opts.Saturate = moped.Poststar
+	default:
+		writeError(w, http.StatusBadRequest, "unknown engine "+engineName)
+		return opts, false
+	}
+	return opts, true
+}
+
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req VerifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	net := s.lookup(req.Network)
+	net, runner := s.lookup(req.Network)
 	if net == nil {
 		writeError(w, http.StatusNotFound, "unknown network "+req.Network)
 		return
@@ -168,54 +219,98 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty query")
 		return
 	}
-	opts := engine.Options{NoReductions: req.NoReductions}
-	opts.Budget = s.MaxBudget
-	if req.Budget > 0 && (s.MaxBudget == 0 || req.Budget < s.MaxBudget) {
-		opts.Budget = req.Budget
-	}
-	if req.Weight != "" {
-		spec, err := weight.ParseSpec(req.Weight)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		opts.Spec = spec
-	}
-	if req.GeoDistance {
-		opts.Dist = loc.DistanceFunc(net)
-	}
-	switch req.Engine {
-	case "", "dual":
-	case "moped":
-		if opts.Spec != nil {
-			writeError(w, http.StatusBadRequest, "the moped engine does not support weights")
-			return
-		}
-		opts.Saturate = moped.Poststar
-	default:
-		writeError(w, http.StatusBadRequest, "unknown engine "+req.Engine)
+	opts, ok := s.engineOptions(w, net, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
+	if !ok {
 		return
 	}
-	start := time.Now()
-	res, err := engine.VerifyText(net, req.Query, opts)
-	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if err == engine.ErrBudget || strings.Contains(err.Error(), "budget") {
-			status = http.StatusRequestTimeout
-		}
-		writeError(w, status, err.Error())
+	// Run through the network's batch runner: the translated pushdown
+	// system lands in (or comes from) the shared cache, and a client
+	// disconnect cancels the saturation via the request context.
+	br := runner.Verify(r.Context(), []string{req.Query}, batch.Options{
+		Workers: 1, Engine: opts,
+	})[0]
+	if br.Err != nil {
+		writeError(w, errStatus(br.Err), br.Err.Error())
 		return
 	}
-	out := cli.ToJSON(net, req.Query, res)
-	out.TimingMS.Build = res.Stats.BuildTime.Seconds() * 1000
-	_ = start
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, cli.ToJSON(net, req.Query, br.Res))
 }
 
-func (s *Server) lookup(name string) *network.Network {
+// VerifyBatchRequest is the body of POST /api/verify-batch: one network,
+// many queries, shared engine configuration.
+type VerifyBatchRequest struct {
+	Network string   `json:"network"`
+	Queries []string `json:"queries"`
+	// Weight, Engine, Budget, GeoDistance and NoReductions act as in
+	// VerifyRequest, applied to every query.
+	Weight       string `json:"weight,omitempty"`
+	Engine       string `json:"engine,omitempty"`
+	Budget       int64  `json:"budget,omitempty"`
+	GeoDistance  bool   `json:"geoDistance,omitempty"`
+	NoReductions bool   `json:"noReductions,omitempty"`
+	// Workers asks for a worker pool size; the server's Parallel cap wins.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS is a per-query wall-clock deadline in milliseconds.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+}
+
+// VerifyBatchResponse is the body of a successful batch run. Per-query
+// failures (parse errors, budgets, deadlines) appear inline as items with
+// an "error" field; the batch itself still returns 200.
+type VerifyBatchResponse struct {
+	Results   []cli.BatchItemJSON `json:"results"`
+	ElapsedMS float64             `json:"elapsedMs"`
+}
+
+func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req VerifyBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	net, runner := s.lookup(req.Network)
+	if net == nil {
+		writeError(w, http.StatusNotFound, "unknown network "+req.Network)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries")
+		return
+	}
+	opts, ok := s.engineOptions(w, net, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
+	if !ok {
+		return
+	}
+	workers := req.Workers
+	if s.Parallel > 0 && (workers <= 0 || workers > s.Parallel) {
+		workers = s.Parallel
+	}
+	start := time.Now()
+	results := runner.Verify(r.Context(), req.Queries, batch.Options{
+		Workers: workers,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Engine:  opts,
+	})
+	writeJSON(w, http.StatusOK, VerifyBatchResponse{
+		Results:   cli.BatchToJSON(net, results),
+		ElapsedMS: time.Since(start).Seconds() * 1000,
+	})
+}
+
+// errStatus maps a verification error to an HTTP status: exhausted budgets
+// and deadlines are 408, everything else (parse errors etc.) is 422.
+func errStatus(err error) int {
+	if errors.Is(err, engine.ErrBudget) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) || strings.Contains(err.Error(), "budget") {
+		return http.StatusRequestTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) lookup(name string) (*network.Network, *batch.Runner) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.networks[name]
+	return s.networks[name], s.runners[name]
 }
 
 type errorJSON struct {
