@@ -1,10 +1,13 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"aalwines/internal/batch"
 	"aalwines/internal/engine"
 	"aalwines/internal/labels"
 	"aalwines/internal/moped"
@@ -219,6 +222,44 @@ func TestFuzzWeightedMinimality(t *testing.T) {
 				iter, qt, res.Weight, best)
 		}
 	}
+}
+
+// FuzzVerifyBatch cross-checks the batch engine against serial runs on
+// random instances: for any random network, query set and worker count,
+// every batch result must agree with a fresh engine.Verify call — same
+// error-or-success, same verdict, same witness trace, same failed set.
+func FuzzVerifyBatch(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(4))
+	f.Add(int64(42), int64(7), uint8(1))
+	f.Add(int64(1234), int64(99), uint8(8))
+	f.Add(int64(-5), int64(0), uint8(3))
+	f.Fuzz(func(t *testing.T, netSeed, querySeed int64, workers uint8) {
+		rng := rand.New(rand.NewSource(netSeed))
+		n := randomNetwork(rng)
+		qrng := rand.New(rand.NewSource(querySeed))
+		texts := make([]string, 6)
+		for i := range texts {
+			texts[i] = randomQuery(qrng, n)
+		}
+		w := int(workers%8) + 1
+		results := batch.Verify(context.Background(), n, texts, batch.Options{Workers: w})
+		for i, r := range results {
+			res, err := engine.VerifyText(n, texts[i], engine.Options{})
+			if (r.Err != nil) != (err != nil) {
+				t.Fatalf("workers=%d %q: batch err %v, serial err %v", w, texts[i], r.Err, err)
+			}
+			if err != nil {
+				continue
+			}
+			if r.Res.Verdict != res.Verdict {
+				t.Fatalf("workers=%d %q: batch verdict %v, serial %v", w, texts[i], r.Res.Verdict, res.Verdict)
+			}
+			if !reflect.DeepEqual(r.Res.Trace, res.Trace) || !reflect.DeepEqual(r.Res.Failed, res.Failed) {
+				t.Fatalf("workers=%d %q: batch witness differs from serial\nbatch:  %s\nserial: %s",
+					w, texts[i], r.Res.Trace.Format(n), res.Trace.Format(n))
+			}
+		}
+	})
 }
 
 // bruteForceMinWeight enumerates bounded witnesses and returns the minimal

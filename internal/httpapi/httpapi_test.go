@@ -194,6 +194,137 @@ func TestVerifyBudgetCap(t *testing.T) {
 	}
 }
 
+func postBatch(t *testing.T, ts *httptest.Server, req httpapi.VerifyBatchRequest) (*http.Response, httpapi.VerifyBatchResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/api/verify-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out httpapi.VerifyBatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// TestVerifyBatchEndpoint runs a batch over the running example and checks
+// order, verdict agreement with the single endpoint and inline per-query
+// errors.
+func TestVerifyBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	queries := []string{
+		"<ip> [.#v0] .* [v3#.] <ip> 0",
+		"<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 1",
+		"<ip> [.#no-such-router] .* <ip> 0", // parse error, isolated
+		"<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+	}
+	resp, out := postBatch(t, ts, httpapi.VerifyBatchRequest{
+		Network: "running-example", Queries: queries, Workers: 4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Results) != len(queries) {
+		t.Fatalf("results = %d, want %d", len(out.Results), len(queries))
+	}
+	for i, item := range out.Results {
+		if item.Query != queries[i] {
+			t.Errorf("result %d out of order: %q", i, item.Query)
+		}
+		if i == 2 {
+			if item.Error == "" {
+				t.Error("malformed query reported no error")
+			}
+			continue
+		}
+		if item.Error != "" {
+			t.Fatalf("%q: %s", item.Query, item.Error)
+		}
+		_, single := postVerify(t, ts, httpapi.VerifyRequest{
+			Network: "running-example", Query: queries[i],
+		})
+		if item.Verdict != single.Verdict {
+			t.Errorf("%q: batch verdict %q, single %q", item.Query, item.Verdict, single.Verdict)
+		}
+	}
+}
+
+func TestVerifyBatchErrors(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		req    httpapi.VerifyBatchRequest
+		status int
+	}{
+		{httpapi.VerifyBatchRequest{Network: "ghost", Queries: []string{"<ip> .* <ip> 0"}}, http.StatusNotFound},
+		{httpapi.VerifyBatchRequest{Network: "running-example"}, http.StatusBadRequest},
+		{httpapi.VerifyBatchRequest{Network: "running-example", Queries: []string{"<ip> .* <ip> 0"}, Engine: "z3"}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		resp, _ := postBatch(t, ts, c.req)
+		if resp.StatusCode != c.status {
+			t.Errorf("case %d: status = %d, want %d", i, resp.StatusCode, c.status)
+		}
+	}
+}
+
+// TestConcurrentBatch fires overlapping batch requests (and a worker cap)
+// at one server; under -race this stresses the per-network runner sharing.
+func TestConcurrentBatch(t *testing.T) {
+	s := httpapi.NewServer()
+	s.Register(gen.RunningExample().Network)
+	s.Parallel = 2
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	queries := []string{
+		"<ip> [.#v0] .* [v3#.] <ip> 0",
+		"<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 1",
+		"<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+	}
+	const calls = 6
+	out := make([]httpapi.VerifyBatchResponse, calls)
+	var wg sync.WaitGroup
+	for c := 0; c < calls; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(httpapi.VerifyBatchRequest{
+				Network: "running-example", Queries: queries, Workers: 8,
+			})
+			resp, err := http.Post(ts.URL+"/api/verify-batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d", resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out[c]); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for c := 1; c < calls; c++ {
+		for i := range queries {
+			a, b := out[c].Results[i], out[0].Results[i]
+			if a.Verdict != b.Verdict || a.Error != b.Error {
+				t.Errorf("call %d query %d: %q/%q differs from %q/%q",
+					c, i, a.Verdict, a.Error, b.Verdict, b.Error)
+			}
+		}
+	}
+}
+
 // TestConcurrentVerify exercises the read-only concurrency contract.
 func TestConcurrentVerify(t *testing.T) {
 	ts := newTestServer(t)
