@@ -31,6 +31,7 @@ import (
 	"aalwines/internal/engine"
 	"aalwines/internal/loc"
 	"aalwines/internal/moped"
+	"aalwines/internal/obs"
 	"aalwines/internal/viz"
 	"aalwines/internal/weight"
 	"aalwines/internal/xmlio"
@@ -67,11 +68,23 @@ func run() error {
 	noReductions := flag.Bool("no-reductions", false, "disable the pre-saturation reduction pass")
 	budget := flag.Int64("budget", 0, "work budget per saturation (0 = unlimited)")
 	asJSON := flag.Bool("json", false, "JSON output")
+	statsDump := flag.Bool("stats", false, "dump the metrics registry as JSON to stderr on exit")
 	writeTopo := flag.String("write-topology", "", "write the topology XML and exit")
 	writeRoute := flag.String("write-routing", "", "write the routing XML and exit")
 	writeLoc := flag.String("write-locations", "", "write the locations JSON and exit")
 	dotOut := flag.String("dot", "", "write a Graphviz rendering of the network (and witness, if any)")
 	flag.Parse()
+
+	if *statsDump {
+		// Runs on every exit path, after all verification work: the dump
+		// carries saturation counters, per-phase timings and cache metrics
+		// for whatever this invocation did — including failed runs.
+		defer func() {
+			if err := obs.Default.WriteJSON(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "aalwines: -stats:", err)
+			}
+		}()
+	}
 
 	net, err := cli.Load(nf)
 	if err != nil {

@@ -7,23 +7,31 @@
 //	          -topo extra-topo.xml -routing extra-route.xml
 //
 // Endpoints: GET /api/networks, GET /api/networks/{name}/topology,
-// POST /api/verify, POST /api/verify-batch, GET /healthz. See
-// internal/httpapi for the schema.
+// POST /api/verify, POST /api/verify-batch, GET /metrics (Prometheus
+// text), GET /healthz. See internal/httpapi for the schema.
+//
+// With -debug-addr a second listener serves the operator-facing debug
+// surface — /metrics, /debug/vars (expvar, including the metrics registry
+// as "aalwines_metrics") and /debug/pprof/* — kept off the public address
+// so profiling endpoints are never exposed to API clients.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
 	"aalwines/internal/cli"
 	"aalwines/internal/httpapi"
+	"aalwines/internal/obs"
 )
 
 func main() {
@@ -46,7 +54,12 @@ func run() error {
 	listen := flag.String("listen", ":8080", "listen address")
 	budget := flag.Int64("max-budget", 200_000_000, "per-request saturation budget (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "worker cap for /api/verify-batch requests (0 = GOMAXPROCS)")
+	debugAddr := flag.String("debug-addr", "", "debug listener for /metrics, /debug/vars and /debug/pprof/* (empty = disabled)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 
 	srv := httpapi.NewServer()
 	srv.MaxBudget = *budget
@@ -99,5 +112,28 @@ func run() error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)
+	}
+}
+
+// serveDebug runs the operator-facing debug listener. It dies with the
+// process; a failure to bind is logged but does not take the API down.
+func serveDebug(addr string) {
+	obs.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("debug listening on %s", addr)
+	if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("debug listener: %v", err)
 	}
 }

@@ -3,10 +3,15 @@
 //	benchrunner -table1                 # Table 1 rows (3 engines × 6 queries)
 //	benchrunner -figure4                # Figure 4 cactus series + summary
 //	benchrunner -ablation               # reduction / dual-vs-over ablations
+//	benchrunner -bench-verify           # canonical BENCH_verify.json report
+//	benchrunner -validate FILE          # schema-check an existing report
 //
 // Scale knobs (-services, -networks, -queries, -budget) trade fidelity for
 // runtime; EXPERIMENTS.md records the configurations used for the shipped
-// results.
+// results. -bench-verify sweeps a fixed query set (-bench-net, -repeat)
+// through the batch runner and writes per-query latency percentiles, the
+// translation-cache hit rate and the saturation counters to -out
+// (atomically: temp file + rename).
 package main
 
 import (
@@ -25,6 +30,11 @@ func main() {
 	table1 := flag.Bool("table1", false, "run the Table 1 experiment")
 	figure4 := flag.Bool("figure4", false, "run the Figure 4 sweep")
 	ablation := flag.Bool("ablation", false, "run the ablation benches")
+	benchVerify := flag.Bool("bench-verify", false, "run the canonical verification benchmark")
+	out := flag.String("out", "BENCH_verify.json", "output path for -bench-verify")
+	validate := flag.String("validate", "", "validate an existing BENCH_verify.json and exit")
+	benchNet := flag.String("bench-net", "running-example", "network for -bench-verify: running-example, nordunet, zoo")
+	repeat := flag.Int("repeat", 3, "query-set sweeps for -bench-verify (runs after the first hit the warm cache)")
 
 	services := flag.Int("services", 4, "NORDUnet service chains per pair (Table 1)")
 	edge := flag.Int("edge", 16, "NORDUnet edge routers (Table 1)")
@@ -36,9 +46,42 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker goroutines for the Figure 4 sweep (1 = sequential, best timing fidelity)")
 	flag.Parse()
 
-	if !*table1 && !*figure4 && !*ablation {
-		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation")
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := experiments.ValidateBenchVerify(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (%s)\n", *validate, experiments.BenchVerifySchema)
+		return
+	}
+	if !*table1 && !*figure4 && !*ablation && !*benchVerify {
+		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify")
 		os.Exit(2)
+	}
+	if *benchVerify {
+		rep, err := experiments.BenchVerify(experiments.BenchVerifyConfig{
+			Network: *benchNet, Repeat: *repeat, Workers: *parallel,
+			Budget: *budget, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteBenchVerify(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== Bench: %d×%d queries on %s ==\n", rep.Repeat, rep.Queries, rep.Network)
+		fmt.Printf("   latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+			rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P99, rep.LatencyMS.Max)
+		fmt.Printf("   cache hit rate %.1f%% (%d entries), %d saturation runs, %d pops\n",
+			rep.Cache.HitRate*100, rep.Cache.Entries, rep.Saturation.Runs, rep.Saturation.WorklistPops)
+		fmt.Printf("   wrote %s\n", *out)
 	}
 	if *table1 {
 		fmt.Printf("== Table 1: query verification time (seconds) ==\n")

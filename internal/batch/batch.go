@@ -18,8 +18,24 @@ import (
 
 	"aalwines/internal/engine"
 	"aalwines/internal/network"
+	"aalwines/internal/obs"
 	"aalwines/internal/query"
 	"aalwines/internal/translate"
+)
+
+// Pool metrics: queue wait is the time a query spends enqueued before a
+// worker picks it up (scheduling pressure), query latency is the per-query
+// wall clock including parsing and verification, and the busy gauge /
+// busy-seconds pair yields worker utilisation (busy-seconds divided by
+// wall-seconds × workers).
+var (
+	mBatches   = obs.GetCounter("batch_batches_total")
+	mQueries   = obs.GetCounter("batch_queries_total")
+	mErrors    = obs.GetCounter("batch_query_errors_total")
+	mQueueWait = obs.GetHistogram("batch_queue_wait_seconds", nil)
+	mLatency   = obs.GetHistogram("batch_query_seconds", nil)
+	mBusy      = obs.GetGauge("batch_workers_busy")
+	mBusySecs  = obs.GetFloatCounter("batch_worker_busy_seconds_total")
 )
 
 // Options configure one batch run.
@@ -49,6 +65,11 @@ type Result struct {
 	// deadline, or the batch context's error for queries cancelled before
 	// or during their run.
 	Err error
+	// Stats mirrors Res.Stats but is populated on every path — including
+	// budget- and deadline-failed queries, whose partially filled stats
+	// (build time, rule counts, the phase that blew the budget) are exactly
+	// what a caller diagnosing the failure needs.
+	Stats engine.Stats
 	// Elapsed is the query's wall-clock verification time.
 	Elapsed time.Duration
 }
@@ -118,22 +139,37 @@ func (r *Runner) Verify(ctx context.Context, queries []string, opts Options) []R
 	eopts := opts.Engine
 	eopts.Cache = r.cache
 
+	mBatches.Inc()
+	mQueries.Add(int64(len(queries)))
 	results := make([]Result, len(queries))
-	idx := make(chan int)
+	// The index channel is buffered and filled up front, so per-query queue
+	// wait (pickup minus enqueue) measures real scheduling pressure.
+	idx := make(chan int, len(queries))
+	enqueued := make([]time.Time, len(queries))
+	for i := range queries {
+		enqueued[i] = time.Now()
+		idx <- i
+	}
+	close(idx)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				mQueueWait.ObserveDuration(time.Since(enqueued[i]))
+				mBusy.Add(1)
+				t0 := time.Now()
 				results[i] = r.one(ctx, i, queries[i], opts.Timeout, eopts)
+				mBusySecs.Add(time.Since(t0).Seconds())
+				mBusy.Add(-1)
+				mLatency.ObserveDuration(results[i].Elapsed)
+				if results[i].Err != nil {
+					mErrors.Inc()
+				}
 			}
 		}()
 	}
-	for i := range queries {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 	return results
 }
@@ -161,6 +197,7 @@ func (r *Runner) one(ctx context.Context, i int, text string, timeout time.Durat
 		defer cancel()
 	}
 	res.Res, res.Err = engine.VerifyCtx(qctx, r.net, q, eopts)
+	res.Stats = res.Res.Stats
 	res.Elapsed = time.Since(t0)
 	return res
 }

@@ -193,3 +193,38 @@ func TestBatchOverlapping(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchBudgetErrorKeepsStats checks that a budget-exhausted query
+// still surfaces its partial engine stats on the Result: callers
+// diagnosing the timeout need the build time and rule counts of the
+// system that blew the budget.
+func TestBatchBudgetErrorKeepsStats(t *testing.T) {
+	s, texts := testWorkload(t)
+	results := batch.Verify(context.Background(), s.Net, texts[:2], batch.Options{
+		Workers: 2,
+		Engine:  engine.Options{Budget: 1},
+	})
+	for _, r := range results {
+		if !errors.Is(r.Err, engine.ErrBudget) {
+			t.Fatalf("%q: err = %v, want ErrBudget", r.Query, r.Err)
+		}
+		if r.Stats.BuildTime <= 0 || r.Stats.OverRules == 0 {
+			t.Errorf("%q: partial stats missing on budget failure: %+v", r.Query, r.Stats)
+		}
+	}
+}
+
+// TestBatchResultStatsMirrorsRes pins Result.Stats == Result.Res.Stats on
+// the success path, so callers can read stats uniformly on both paths.
+func TestBatchResultStatsMirrorsRes(t *testing.T) {
+	s, texts := testWorkload(t)
+	results := batch.Verify(context.Background(), s.Net, texts[:3], batch.Options{Workers: 2})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%q: %v", r.Query, r.Err)
+		}
+		if !reflect.DeepEqual(r.Stats, r.Res.Stats) {
+			t.Errorf("%q: Stats %+v != Res.Stats %+v", r.Query, r.Stats, r.Res.Stats)
+		}
+	}
+}

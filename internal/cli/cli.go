@@ -4,7 +4,9 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -176,24 +178,36 @@ type Sizes struct {
 	UnderUsed    bool `json:"underUsed"`
 }
 
+// TimingsOf converts engine stats to the JSON timing block. It is split
+// out of ToJSON so error responses can carry the partial timings of a
+// failed run.
+func TimingsOf(st engine.Stats) Timings {
+	return Timings{
+		Build:       ms(st.BuildTime),
+		Over:        ms(st.OverTime),
+		Under:       ms(st.UnderTime),
+		Reconstruct: ms(st.ReconstructTime),
+	}
+}
+
+// SizesOf converts engine stats to the JSON sizes block.
+func SizesOf(st engine.Stats) Sizes {
+	return Sizes{
+		OverRules:    st.OverRules,
+		OverRulesPre: st.OverRulesPre,
+		UnderRules:   st.UnderRules,
+		UnderUsed:    st.UnderUsed,
+	}
+}
+
 // ToJSON converts an engine result.
 func ToJSON(net *network.Network, queryText string, res engine.Result) ResultJSON {
 	out := ResultJSON{
-		Query:   queryText,
-		Verdict: res.Verdict.String(),
-		Weight:  res.Weight,
-		TimingMS: Timings{
-			Build:       ms(res.Stats.BuildTime),
-			Over:        ms(res.Stats.OverTime),
-			Under:       ms(res.Stats.UnderTime),
-			Reconstruct: ms(res.Stats.ReconstructTime),
-		},
-		Sizes: Sizes{
-			OverRules:    res.Stats.OverRules,
-			OverRulesPre: res.Stats.OverRulesPre,
-			UnderRules:   res.Stats.UnderRules,
-			UnderUsed:    res.Stats.UnderUsed,
-		},
+		Query:    queryText,
+		Verdict:  res.Verdict.String(),
+		Weight:   res.Weight,
+		TimingMS: TimingsOf(res.Stats),
+		Sizes:    SizesOf(res.Stats),
 	}
 	for _, l := range res.Failed.Sorted() {
 		out.Failed = append(out.Failed, net.Topo.LinkName(l))
@@ -212,22 +226,52 @@ func ms(d interface{ Seconds() float64 }) float64 {
 	return d.Seconds() * 1000
 }
 
+// ErrorCode classifies a verification error for machine consumption:
+// "budget-exhausted" for an exhausted saturation budget (the server-side
+// analogue of the paper's 10-minute timeout), "deadline-exceeded" for an
+// expired per-query deadline, "cancelled" for a cancelled run, and
+// "query-error" for everything else (parse and validation failures). Both
+// HTTP routes and the batch JSON use the same mapping so clients can
+// switch on one vocabulary.
+func ErrorCode(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrBudget):
+		return "budget-exhausted"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline-exceeded"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "query-error"
+	}
+}
+
 // BatchItemJSON is one query's outcome in a batch run: a ResultJSON on
-// success, or the query text plus an error string on failure.
+// success, or the query text plus an error string, machine-readable code
+// and whatever partial timings/sizes the failed run produced.
 type BatchItemJSON struct {
 	ResultJSON
 	Error     string  `json:"error,omitempty"`
+	Code      string  `json:"code,omitempty"`
 	ElapsedMS float64 `json:"elapsedMs"`
 }
 
-// BatchToJSON converts batch results, preserving input order.
+// BatchToJSON converts batch results, preserving input order. Failed
+// queries keep their partial stats: a budget-exhausted run still reports
+// build time, rule counts and the time spent in the phase that blew the
+// budget.
 func BatchToJSON(net *network.Network, results []batch.Result) []BatchItemJSON {
 	out := make([]BatchItemJSON, len(results))
 	for i, r := range results {
 		item := BatchItemJSON{ElapsedMS: r.Elapsed.Seconds() * 1000}
 		if r.Err != nil {
-			item.ResultJSON = ResultJSON{Query: r.Query}
+			item.ResultJSON = ResultJSON{
+				Query:    r.Query,
+				TimingMS: TimingsOf(r.Stats),
+				Sizes:    SizesOf(r.Stats),
+			}
 			item.Error = r.Err.Error()
+			item.Code = ErrorCode(r.Err)
 		} else {
 			item.ResultJSON = ToJSON(net, r.Query, r.Res)
 		}

@@ -15,10 +15,31 @@ import (
 	"time"
 
 	"aalwines/internal/network"
+	"aalwines/internal/obs"
 	"aalwines/internal/pds"
 	"aalwines/internal/query"
 	"aalwines/internal/translate"
 	"aalwines/internal/weight"
+)
+
+// Pipeline metrics: one histogram per phase (mirroring the Stats fields)
+// plus run/verdict/error counters. The under phase is only observed on
+// runs that actually consulted the under-approximation, so its count is
+// also the fallback rate.
+var (
+	mRuns   = obs.GetCounter("engine_runs_total")
+	mErrors = obs.GetCounter("engine_errors_total")
+	mPhases = [4]*obs.Histogram{
+		obs.GetHistogram(`engine_phase_seconds{phase="build"}`, nil),
+		obs.GetHistogram(`engine_phase_seconds{phase="over"}`, nil),
+		obs.GetHistogram(`engine_phase_seconds{phase="under"}`, nil),
+		obs.GetHistogram(`engine_phase_seconds{phase="reconstruct"}`, nil),
+	}
+	mVerdicts = [3]*obs.Counter{
+		obs.GetCounter(`engine_verdicts_total{verdict="unsatisfied"}`),
+		obs.GetCounter(`engine_verdicts_total{verdict="satisfied"}`),
+		obs.GetCounter(`engine_verdicts_total{verdict="inconclusive"}`),
+	}
 )
 
 // Verdict is the outcome of a verification run.
@@ -119,7 +140,31 @@ func Verify(net *network.Network, q *query.Query, opts Options) (Result, error) 
 // saturation, returning ctx's error. Cancellation only applies to the
 // default saturation backend; an explicit Saturate override is still
 // bounded by Budget and checked between phases.
+//
+// Stats is populated consistently on every return path, including errors:
+// whatever phases completed (or were in flight when the budget blew) have
+// their timings and sizes filled in, so callers can report partial stats
+// alongside a timeout.
 func VerifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts Options) (Result, error) {
+	res, err := verifyCtx(ctx, net, q, opts)
+	mRuns.Inc()
+	mPhases[0].ObserveDuration(res.Stats.BuildTime)
+	mPhases[1].ObserveDuration(res.Stats.OverTime)
+	if res.Stats.UnderUsed {
+		mPhases[2].ObserveDuration(res.Stats.UnderTime)
+	}
+	if res.Stats.ReconstructTime > 0 {
+		mPhases[3].ObserveDuration(res.Stats.ReconstructTime)
+	}
+	if err != nil {
+		mErrors.Inc()
+	} else if int(res.Verdict) < len(mVerdicts) {
+		mVerdicts[res.Verdict].Inc()
+	}
+	return res, err
+}
+
+func verifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts Options) (Result, error) {
 	sat := opts.Saturate
 	if sat == nil {
 		stop := ctx.Done()
@@ -163,16 +208,18 @@ func VerifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts O
 	}
 	res.Stats.TransOver = overRes.Auto.NumTrans()
 
+	// Witness search, trace reconstruction and feasibility validation all
+	// count as reconstruction time; the under-approximation pass below
+	// accumulates into the same field.
+	t2 := time.Now()
 	acc, found := overRes.FindAccepting(over.FinalStates, over.FinalSpec)
 	if !found {
+		res.Stats.ReconstructTime += time.Since(t2)
 		res.Verdict = Unsatisfied
 		return res, nil
 	}
-
-	// Trace reconstruction and feasibility validation.
-	t2 := time.Now()
 	tr, err := decode(over, overRes, acc)
-	res.Stats.ReconstructTime = time.Since(t2)
+	res.Stats.ReconstructTime += time.Since(t2)
 	if err == nil {
 		if feas := net.Feasible(tr, q.MaxFailures); feas.Feasible {
 			res.Verdict = Satisfied
@@ -208,12 +255,15 @@ func VerifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts O
 	}
 	res.Stats.TransUnder = underRes.Auto.NumTrans()
 
+	t4 := time.Now()
 	acc2, found2 := underRes.FindAccepting(under.FinalStates, under.FinalSpec)
 	if !found2 {
+		res.Stats.ReconstructTime += time.Since(t4)
 		res.Verdict = Inconclusive
 		return res, nil
 	}
 	tr2, err := decode(under, underRes, acc2)
+	res.Stats.ReconstructTime += time.Since(t4)
 	if err != nil {
 		res.Verdict = Inconclusive
 		return res, nil //nolint:nilerr // inconclusive is the contract here

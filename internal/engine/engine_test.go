@@ -452,3 +452,31 @@ func TestWeightedGuidedSearchAvoidsUnder(t *testing.T) {
 		t.Errorf("over-only verdict = %v, want inconclusive when dual needed the fallback", overOnly.Verdict)
 	}
 }
+
+// TestStatsPopulatedOnUnderRun pins the Stats accounting on a run known to
+// consult the under-approximation (same setup as the guided-search test):
+// every phase that ran must report a non-zero timing and size, including
+// the under-side reconstruction that older code left untimed.
+func TestStatsPopulatedOnUnderRun(t *testing.T) {
+	s := gen.Nordunet(gen.NordOpts{Services: 1, EdgeRouters: 10, Seed: 1})
+	res, err := engine.VerifyText(s.Net, "<smpls ip> .* <mpls mpls smpls ip> 1", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.BuildTime <= 0 || st.OverTime <= 0 || st.ReconstructTime <= 0 {
+		t.Errorf("over-side timings not populated: %+v", st)
+	}
+	if st.OverRules == 0 || st.TransOver == 0 {
+		t.Errorf("over-side sizes not populated: %+v", st)
+	}
+	if !st.UnderUsed {
+		t.Skip("unweighted run no longer needs the under-approximation; phenomenon gone")
+	}
+	if st.UnderTime <= 0 {
+		t.Errorf("UnderTime = %v on a run that used the under engine", st.UnderTime)
+	}
+	if st.UnderRules == 0 || st.TransUnder == 0 {
+		t.Errorf("under-side sizes not populated: %+v", st)
+	}
+}

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"aalwines/internal/batch"
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/network"
+	"aalwines/internal/obs"
+)
+
+// BenchVerifySchema identifies the BENCH_verify.json document layout;
+// consumers reject documents with a different schema string.
+const BenchVerifySchema = "aalwines/bench-verify/v1"
+
+// BenchVerifyConfig configures the canonical verification benchmark: a
+// fixed query set swept Repeat times through a batch runner, with latency,
+// cache and saturation metrics collected from the observability registry.
+type BenchVerifyConfig struct {
+	// Network is a builtin name: "running-example" (default), "nordunet"
+	// or "zoo".
+	Network string
+	// Repeat sweeps the query set this many times (default 3); repeats
+	// after the first run entirely from the warm translation cache.
+	Repeat int
+	// Workers is the batch pool size (0 = GOMAXPROCS).
+	Workers int
+	// Budget bounds saturation work per direction (0 = unlimited).
+	Budget int64
+	// Seed drives the generated networks and query sets.
+	Seed int64
+	// Queries overrides the network's default query set.
+	Queries []string
+}
+
+// BenchVerifyReport is the content of BENCH_verify.json.
+type BenchVerifyReport struct {
+	Schema     string          `json:"schema"`
+	Network    string          `json:"network"`
+	Queries    int             `json:"queries"`
+	Repeat     int             `json:"repeat"`
+	Runs       int             `json:"runs"`
+	Workers    int             `json:"workers"`
+	Seed       int64           `json:"seed"`
+	Budget     int64           `json:"budget"`
+	Verdicts   map[string]int  `json:"verdicts"`
+	Errors     int             `json:"errors"`
+	LatencyMS  BenchLatency    `json:"latencyMs"`
+	Cache      BenchCache      `json:"cache"`
+	Saturation BenchSaturation `json:"saturation"`
+	ElapsedMS  float64         `json:"elapsedMs"`
+}
+
+// BenchLatency summarises the per-query latency distribution in
+// milliseconds, computed exactly from the sorted samples (nearest-rank
+// percentiles), not from histogram buckets.
+type BenchLatency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// BenchCache reports translation-cache effectiveness over the benchmark.
+type BenchCache struct {
+	Entries int     `json:"entries"`
+	Gets    int64   `json:"gets"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+}
+
+// BenchSaturation reports the saturation work done during the benchmark,
+// as deltas of the process-wide pds_* counters (so a report isolates its
+// own work even when other verification ran in the same process).
+type BenchSaturation struct {
+	Runs            int64 `json:"runs"`
+	WorklistPops    int64 `json:"worklistPops"`
+	WorklistPushes  int64 `json:"worklistPushes"`
+	TransInserted   int64 `json:"transInserted"`
+	PeakDepth       int64 `json:"peakDepth"`
+	BudgetSpent     int64 `json:"budgetSpent"`
+	BudgetExhausted int64 `json:"budgetExhausted"`
+}
+
+// runningExampleQueries is the φ set of the paper's running example
+// (Figure 1), mirroring examples/quickstart.
+var runningExampleQueries = []string{
+	"<ip> [.#v0] .* [v3#.] <ip> 0",
+	"<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2",
+	"<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0",
+	"<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1",
+	"<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+	"<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 1",
+}
+
+// benchWorkload resolves the configured network and query set.
+func benchWorkload(cfg BenchVerifyConfig) (*network.Network, []string, error) {
+	name := cfg.Network
+	if name == "" {
+		name = "running-example"
+	}
+	var net *network.Network
+	var queries []string
+	switch name {
+	case "running-example", "example":
+		name = "running-example"
+		net = gen.RunningExample().Network
+		queries = runningExampleQueries
+	case "nordunet":
+		s := gen.Nordunet(gen.NordOpts{Services: 2, EdgeRouters: 10, Seed: cfg.Seed})
+		net = s.Net
+		for _, q := range s.Table1Queries() {
+			queries = append(queries, q.Text)
+		}
+	case "zoo":
+		s := gen.Zoo(gen.ZooOpts{Routers: 30, Seed: cfg.Seed, Protection: true})
+		net = s.Net
+		for _, q := range s.Queries(12, cfg.Seed) {
+			queries = append(queries, q.Text)
+		}
+	default:
+		return nil, nil, fmt.Errorf("benchverify: unknown network %q", name)
+	}
+	if len(cfg.Queries) > 0 {
+		queries = cfg.Queries
+	}
+	return net, queries, nil
+}
+
+// BenchVerify runs the canonical verification benchmark and returns its
+// report.
+func BenchVerify(cfg BenchVerifyConfig) (*BenchVerifyReport, error) {
+	net, queries, err := benchWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	repeat := cfg.Repeat
+	if repeat <= 0 {
+		repeat = 3
+	}
+
+	pre := obs.Default.Snapshot()
+	runner := batch.NewRunner(net)
+	start := time.Now()
+	var all []batch.Result
+	for r := 0; r < repeat; r++ {
+		all = append(all, runner.Verify(context.Background(), queries, batch.Options{
+			Workers: cfg.Workers,
+			Engine:  engine.Options{Budget: cfg.Budget},
+		})...)
+	}
+	elapsed := time.Since(start)
+	post := obs.Default.Snapshot()
+
+	rep := &BenchVerifyReport{
+		Schema:    BenchVerifySchema,
+		Network:   net.Name,
+		Queries:   len(queries),
+		Repeat:    repeat,
+		Runs:      len(all),
+		Workers:   cfg.Workers,
+		Seed:      cfg.Seed,
+		Budget:    cfg.Budget,
+		Verdicts:  map[string]int{},
+		ElapsedMS: elapsed.Seconds() * 1000,
+	}
+	samples := make([]float64, 0, len(all))
+	var sum float64
+	for _, r := range all {
+		ms := r.Elapsed.Seconds() * 1000
+		samples = append(samples, ms)
+		sum += ms
+		if r.Err != nil {
+			rep.Errors++
+			continue
+		}
+		rep.Verdicts[r.Res.Verdict.String()]++
+	}
+	sort.Float64s(samples)
+	rep.LatencyMS = BenchLatency{
+		P50:  nearestRank(samples, 0.50),
+		P90:  nearestRank(samples, 0.90),
+		P99:  nearestRank(samples, 0.99),
+		Max:  nearestRank(samples, 1),
+		Mean: sum / float64(len(samples)),
+	}
+	cs := runner.CacheStats()
+	rep.Cache = BenchCache{
+		Entries: cs.Entries, Gets: cs.Gets, Hits: cs.Hits, Misses: cs.Misses,
+		HitRate: cs.HitRate(),
+	}
+	rep.Saturation = saturationDelta(pre, post)
+	return rep, nil
+}
+
+// nearestRank returns the q-quantile of sorted samples by the
+// nearest-rank definition (exact sample values, no interpolation).
+func nearestRank(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// saturationDelta subtracts two registry snapshots over the pds_* counter
+// families, summing across the alg label.
+func saturationDelta(pre, post obs.Snapshot) BenchSaturation {
+	delta := func(prefix string) int64 {
+		var d int64
+		for name, v := range post.Counters {
+			if strings.HasPrefix(name, prefix) {
+				d += v - pre.Counters[name]
+			}
+		}
+		return d
+	}
+	var peak int64
+	for name, v := range post.Gauges {
+		if strings.HasPrefix(name, "pds_worklist_peak_depth") && v > peak {
+			peak = v
+		}
+	}
+	return BenchSaturation{
+		Runs:            delta("pds_saturation_runs_total"),
+		WorklistPops:    delta("pds_worklist_pops_total"),
+		WorklistPushes:  delta("pds_worklist_pushes_total"),
+		TransInserted:   delta("pds_trans_inserted_total"),
+		PeakDepth:       peak,
+		BudgetSpent:     delta("pds_budget_spent_total"),
+		BudgetExhausted: delta("pds_budget_exhausted_total"),
+	}
+}
+
+// WriteBenchVerify writes the report to path atomically: the JSON is
+// staged in a temp file in the target directory and renamed into place, so
+// a concurrent reader never sees a partial document.
+func WriteBenchVerify(path string, rep *BenchVerifyReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ValidateBenchVerify checks that data is a well-formed BENCH_verify.json:
+// strict field set, the expected schema string, and internal consistency
+// (run counts, verdict totals, percentile ordering, cache arithmetic).
+func ValidateBenchVerify(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep BenchVerifyReport
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("benchverify: parse: %w", err)
+	}
+	if rep.Schema != BenchVerifySchema {
+		return fmt.Errorf("benchverify: schema %q, want %q", rep.Schema, BenchVerifySchema)
+	}
+	if rep.Network == "" {
+		return fmt.Errorf("benchverify: empty network")
+	}
+	if rep.Queries <= 0 || rep.Repeat <= 0 || rep.Runs != rep.Queries*rep.Repeat {
+		return fmt.Errorf("benchverify: runs=%d, want queries(%d) × repeat(%d)",
+			rep.Runs, rep.Queries, rep.Repeat)
+	}
+	total := rep.Errors
+	for v, n := range rep.Verdicts {
+		if n < 0 {
+			return fmt.Errorf("benchverify: negative verdict count %s=%d", v, n)
+		}
+		total += n
+	}
+	if total != rep.Runs {
+		return fmt.Errorf("benchverify: verdicts+errors=%d, want runs=%d", total, rep.Runs)
+	}
+	l := rep.LatencyMS
+	if l.P50 < 0 || l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max {
+		return fmt.Errorf("benchverify: latency percentiles out of order: %+v", l)
+	}
+	if l.Mean < 0 || l.Mean > l.Max {
+		return fmt.Errorf("benchverify: latency mean %g outside [0, max=%g]", l.Mean, l.Max)
+	}
+	c := rep.Cache
+	if c.Gets != c.Hits+c.Misses {
+		return fmt.Errorf("benchverify: cache gets=%d ≠ hits(%d)+misses(%d)", c.Gets, c.Hits, c.Misses)
+	}
+	if c.HitRate < 0 || c.HitRate > 1 {
+		return fmt.Errorf("benchverify: cache hit rate %g outside [0,1]", c.HitRate)
+	}
+	s := rep.Saturation
+	if s.Runs < 0 || s.WorklistPops < 0 || s.WorklistPushes < 0 || s.TransInserted < 0 {
+		return fmt.Errorf("benchverify: negative saturation counters: %+v", s)
+	}
+	if rep.ElapsedMS < 0 {
+		return fmt.Errorf("benchverify: negative elapsed %g", rep.ElapsedMS)
+	}
+	return nil
+}

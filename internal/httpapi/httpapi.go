@@ -17,9 +17,7 @@
 package httpapi
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -33,6 +31,7 @@ import (
 	"aalwines/internal/loc"
 	"aalwines/internal/moped"
 	"aalwines/internal/network"
+	"aalwines/internal/obs"
 	"aalwines/internal/weight"
 )
 
@@ -77,6 +76,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/networks/{name}/topology", s.handleTopology)
 	mux.HandleFunc("POST /api/verify", s.handleVerify)
 	mux.HandleFunc("POST /api/verify-batch", s.handleVerifyBatch)
+	// Prometheus text exposition of the process-wide metrics registry:
+	// saturation counters, translation-cache effectiveness, batch latency
+	// histograms, per-phase engine timings.
+	mux.Handle("GET /metrics", obs.Handler(obs.Default))
 	return mux
 }
 
@@ -230,7 +233,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		Workers: 1, Engine: opts,
 	})[0]
 	if br.Err != nil {
-		writeError(w, errStatus(br.Err), br.Err.Error())
+		writeVerifyError(w, br.Err, br.Stats)
 		return
 	}
 	writeJSON(w, http.StatusOK, cli.ToJSON(net, req.Query, br.Res))
@@ -297,14 +300,23 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// errStatus maps a verification error to an HTTP status: exhausted budgets
-// and deadlines are 408, everything else (parse errors etc.) is 422.
+// errStatus maps a verification error to an HTTP status. An exhausted
+// server-side budget is 504 (the server gave up, not the client), an
+// expired per-query deadline or a cancelled request is 408, and everything
+// else (parse errors etc.) is 422. The mapping keys off cli.ErrorCode so
+// both verify routes and the batch item JSON agree on the vocabulary.
 func errStatus(err error) int {
-	if errors.Is(err, engine.ErrBudget) || errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, context.Canceled) || strings.Contains(err.Error(), "budget") {
+	switch cli.ErrorCode(err) {
+	case "budget-exhausted":
+		return http.StatusGatewayTimeout
+	case "deadline-exceeded", "cancelled":
 		return http.StatusRequestTimeout
+	default:
+		if strings.Contains(err.Error(), "budget") {
+			return http.StatusGatewayTimeout
+		}
+		return http.StatusUnprocessableEntity
 	}
-	return http.StatusUnprocessableEntity
 }
 
 func (s *Server) lookup(name string) (*network.Network, *batch.Runner) {
@@ -315,10 +327,28 @@ func (s *Server) lookup(name string) (*network.Network, *batch.Runner) {
 
 type errorJSON struct {
 	Error string `json:"error"`
+	// Code is the machine-readable classification (cli.ErrorCode).
+	Code string `json:"code,omitempty"`
+	// TimingMS and Sizes carry the partial stats of a failed run (what the
+	// engine completed before the budget or deadline hit), when available.
+	TimingMS *cli.Timings `json:"timingMs,omitempty"`
+	Sizes    *cli.Sizes   `json:"sizes,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorJSON{Error: msg})
+}
+
+// writeVerifyError writes a verification failure with its machine-readable
+// code and the partial stats of the aborted run.
+func writeVerifyError(w http.ResponseWriter, err error, st engine.Stats) {
+	t, sz := cli.TimingsOf(st), cli.SizesOf(st)
+	writeJSON(w, errStatus(err), errorJSON{
+		Error:    err.Error(),
+		Code:     cli.ErrorCode(err),
+		TimingMS: &t,
+		Sizes:    &sz,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -189,8 +189,97 @@ func TestVerifyBudgetCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestTimeout {
-		t.Fatalf("status = %d, want 408", resp.StatusCode)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	var e struct {
+		Error    string       `json:"error"`
+		Code     string       `json:"code"`
+		TimingMS *cli.Timings `json:"timingMs"`
+		Sizes    *cli.Sizes   `json:"sizes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "budget-exhausted" {
+		t.Errorf("code = %q, want budget-exhausted", e.Code)
+	}
+	// Partial stats: the build phase completed before saturation gave up.
+	if e.TimingMS == nil || e.Sizes == nil {
+		t.Fatal("error body missing partial stats")
+	}
+	if e.Sizes.OverRules == 0 {
+		t.Errorf("partial stats lost the rule count: %+v", e.Sizes)
+	}
+}
+
+// TestVerifyBatchBudgetCode checks that a budget-exhausted query inside a
+// batch carries the same machine-readable code (and its partial stats) as
+// the single-verify route's 504, even though the batch itself returns 200.
+func TestVerifyBatchBudgetCode(t *testing.T) {
+	s := httpapi.NewServer()
+	s.Register(gen.RunningExample().Network)
+	s.MaxBudget = 1
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, out := postBatch(t, ts, httpapi.VerifyBatchRequest{
+		Network: "running-example",
+		Queries: []string{"<ip> [.#v0] .* [v3#.] <ip> 0"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	item := out.Results[0]
+	if item.Error == "" || item.Code != "budget-exhausted" {
+		t.Fatalf("item = %+v, want budget-exhausted error", item)
+	}
+	if item.Sizes.OverRules == 0 {
+		t.Errorf("batch error item lost partial stats: %+v", item.Sizes)
+	}
+}
+
+// TestMetricsEndpoint drives a batch through the API and checks that
+// GET /metrics exposes non-zero saturation, cache and latency metrics in
+// Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	postBatch(t, ts, httpapi.VerifyBatchRequest{
+		Network: "running-example",
+		Queries: []string{
+			"<ip> [.#v0] .* [v3#.] <ip> 0",
+			"<ip> [.#v0] .* [v3#.] <ip> 0", // repeat → cache hit
+		},
+	})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"pds_worklist_pops_total{alg=\"poststar\"}",
+		"translate_cache_gets_total{network=\"running-example\"}",
+		"batch_query_seconds_count",
+		"engine_phase_seconds_bucket{phase=\"build\",le=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The registry is process-global and other tests contribute, but this
+	// batch alone guarantees non-zero pops and cache gets.
+	if strings.Contains(body, "pds_worklist_pops_total{alg=\"poststar\"} 0\n") {
+		t.Error("poststar pops counter is zero after a batch")
 	}
 }
 

@@ -1,0 +1,58 @@
+package pds
+
+import "aalwines/internal/obs"
+
+// Saturation counters. The worklist metrics carry an `alg` label so post*
+// (the engine's witness-producing direction, run once per approximation)
+// and pre* (the unweighted cross-validation direction) stay separable in
+// one exposition; DESIGN.md ("Observability") documents what each counter
+// means in pre*/post* terms. The hot loops tally into stack-local
+// variables and flush exactly once per saturation run — on success and on
+// every error path — so the per-pop overhead is zero atomics.
+var (
+	postRuns     = obs.GetCounter(`pds_saturation_runs_total{alg="poststar"}`)
+	postPops     = obs.GetCounter(`pds_worklist_pops_total{alg="poststar"}`)
+	postPushes   = obs.GetCounter(`pds_worklist_pushes_total{alg="poststar"}`)
+	postInserted = obs.GetCounter(`pds_trans_inserted_total{alg="poststar"}`)
+	postPeak     = obs.GetGauge(`pds_worklist_peak_depth{alg="poststar"}`)
+
+	preRuns     = obs.GetCounter(`pds_saturation_runs_total{alg="prestar"}`)
+	prePops     = obs.GetCounter(`pds_worklist_pops_total{alg="prestar"}`)
+	prePushes   = obs.GetCounter(`pds_worklist_pushes_total{alg="prestar"}`)
+	preInserted = obs.GetCounter(`pds_trans_inserted_total{alg="prestar"}`)
+	prePeak     = obs.GetGauge(`pds_worklist_peak_depth{alg="prestar"}`)
+
+	budgetSpent     = obs.GetCounter("pds_budget_spent_total")
+	budgetExhausted = obs.GetCounter("pds_budget_exhausted_total")
+	satStopped      = obs.GetCounter("pds_saturation_stopped_total")
+)
+
+// satTally accumulates one saturation run's counters locally; flush adds
+// them to the process-wide registry in one shot.
+type satTally struct {
+	pops, pushes, inserted, peak int64
+}
+
+func (t *satTally) notePush(depth int) {
+	t.pushes++
+	if d := int64(depth); d > t.peak {
+		t.peak = d
+	}
+}
+
+func (t *satTally) flushPost() {
+	postRuns.Inc()
+	postPops.Add(t.pops)
+	postPushes.Add(t.pushes)
+	postInserted.Add(t.inserted)
+	postPeak.SetMax(t.peak)
+	budgetSpent.Add(t.pops)
+}
+
+func (t *satTally) flushPre() {
+	preRuns.Inc()
+	prePops.Add(t.pops)
+	prePushes.Add(t.pushes)
+	preInserted.Add(t.inserted)
+	prePeak.SetMax(t.peak)
+}

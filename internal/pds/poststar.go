@@ -56,6 +56,8 @@ func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{
 	if err := init.Validate(); err != nil {
 		return nil, err
 	}
+	var tally satTally
+	defer tally.flushPost()
 	a := init
 	one := func() []uint64 {
 		if dim == 0 {
@@ -81,9 +83,13 @@ func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{
 	var queue []Trans
 	inQueue := map[Trans]bool{}
 	push := func(t Trans, w []uint64, wit *Witness) {
-		if a.Insert(t, w, wit) && !inQueue[t] {
-			inQueue[t] = true
-			queue = append(queue, t)
+		if a.Insert(t, w, wit) {
+			tally.inserted++
+			if !inQueue[t] {
+				inQueue[t] = true
+				queue = append(queue, t)
+				tally.notePush(len(queue))
+			}
 		}
 	}
 	// Seed the worklist with every initial transition.
@@ -93,6 +99,7 @@ func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{
 			if !inQueue[t] {
 				inQueue[t] = true
 				queue = append(queue, t)
+				tally.notePush(len(queue))
 			}
 		}
 	}
@@ -141,11 +148,15 @@ func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{
 	var work int64
 	for len(queue) > 0 {
 		if work++; budget > 0 && work > budget {
+			tally.pops = work
+			budgetExhausted.Inc()
 			return nil, ErrBudget
 		}
 		if stop != nil && work%stopCheckEvery == 0 {
 			select {
 			case <-stop:
+				tally.pops = work
+				satStopped.Inc()
 				return nil, ErrStopped
 			default:
 			}
@@ -194,6 +205,7 @@ func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{
 		applyRules(t, w, rec)
 	}
 
+	tally.pops = work
 	res := &Result{PDS: p, Auto: a, Dim: dim, Mids: map[State][2]uint32{}}
 	for k, v := range mids {
 		res.Mids[v] = k

@@ -9,6 +9,8 @@ package pds
 // cross-validation (post*(I) ∩ F ≠ ∅ ⇔ I ∩ pre*(F) ≠ ∅).
 func Prestar(p *PDS, target *Auto) *Result {
 	a := target
+	var tally satTally
+	defer tally.flushPre()
 
 	var queue []Trans
 	inQueue := map[Trans]bool{}
@@ -17,9 +19,11 @@ func Prestar(p *PDS, target *Auto) *Result {
 			return
 		}
 		a.Insert(t, nil, &Witness{Kind: WitInitial, Rule: -1, T: t})
+		tally.inserted++
 		if !inQueue[t] {
 			inQueue[t] = true
 			queue = append(queue, t)
+			tally.notePush(len(queue))
 		}
 	}
 
@@ -31,6 +35,7 @@ func Prestar(p *PDS, target *Auto) *Result {
 			if !inQueue[t] {
 				inQueue[t] = true
 				queue = append(queue, t)
+				tally.notePush(len(queue))
 			}
 		}
 	}
@@ -66,6 +71,7 @@ func Prestar(p *PDS, target *Auto) *Result {
 		t := queue[0]
 		queue = queue[1:]
 		inQueue[t] = false
+		tally.pops++
 
 		// Swap rules whose RHS head ⟨t.From, γ′⟩ matches this transition.
 		if int(t.From) < p.NumStates {

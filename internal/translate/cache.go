@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"aalwines/internal/network"
+	"aalwines/internal/obs"
 	"aalwines/internal/pds"
 	"aalwines/internal/query"
 	"aalwines/internal/weight"
@@ -30,6 +31,11 @@ type Cache struct {
 	misses atomic.Int64
 	gets   atomic.Int64
 
+	// Process-wide counters labeled by network name, so /metrics separates
+	// cache effectiveness per registered network.
+	obsGets, obsHits, obsMisses *obs.Counter
+	obsEntries                  *obs.Gauge
+
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
 }
@@ -49,7 +55,15 @@ type cacheEntry struct {
 
 // NewCache returns an empty cache bound to the network.
 func NewCache(net *network.Network) *Cache {
-	return &Cache{net: net, entries: make(map[cacheKey]*cacheEntry)}
+	label := `{network="` + obs.SanitizeLabel(net.Name) + `"}`
+	return &Cache{
+		net:        net,
+		entries:    make(map[cacheKey]*cacheEntry),
+		obsGets:    obs.GetCounter("translate_cache_gets_total" + label),
+		obsHits:    obs.GetCounter("translate_cache_hits_total" + label),
+		obsMisses:  obs.GetCounter("translate_cache_misses_total" + label),
+		obsEntries: obs.GetGauge("translate_cache_entries" + label),
+	}
 }
 
 // Net returns the network the cache is bound to.
@@ -62,8 +76,10 @@ func (c *Cache) Net() *network.Network { return c.net }
 // build completes.
 func (c *Cache) Get(q *query.Query, opts Options) (*System, *pds.Auto) {
 	c.gets.Add(1)
+	c.obsGets.Inc()
 	if opts.Dist != nil {
 		c.misses.Add(1)
+		c.obsMisses.Inc()
 		sys := Build(c.net, q, opts)
 		return sys, sys.InitAuto()
 	}
@@ -73,24 +89,43 @@ func (c *Cache) Get(q *query.Query, opts Options) (*System, *pds.Auto) {
 	if e == nil {
 		e = &cacheEntry{}
 		c.entries[key] = e
+		c.obsEntries.Set(int64(len(c.entries)))
 	}
 	c.mu.Unlock()
+	built := false
 	e.once.Do(func() {
+		built = true
 		c.misses.Add(1)
+		c.obsMisses.Inc()
 		e.sys = Build(c.net, q, opts)
 		e.init = e.sys.InitAuto()
 		// Pre-normalise weights so saturating a clone never rewrites a
 		// witness record shared with the pristine automaton.
 		e.init.NormalizeWeights(e.sys.Dim)
 	})
+	if !built {
+		// A hit is a get served from an existing entry — including one that
+		// blocked on another goroutine's in-flight build.
+		c.obsHits.Inc()
+	}
 	return e.sys, e.init.Clone()
 }
 
-// CacheStats summarises cache effectiveness.
+// CacheStats summarises cache effectiveness. Hits = Gets - Misses; a get
+// that blocked on another goroutine's in-flight build counts as a hit.
 type CacheStats struct {
 	Entries int
 	Gets    int64
 	Misses  int64
+	Hits    int64
+}
+
+// HitRate returns Hits/Gets, or 0 before the first get.
+func (s CacheStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -98,7 +133,8 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	n := len(c.entries)
 	c.mu.Unlock()
-	return CacheStats{Entries: n, Gets: c.gets.Load(), Misses: c.misses.Load()}
+	gets, misses := c.gets.Load(), c.misses.Load()
+	return CacheStats{Entries: n, Gets: gets, Misses: misses, Hits: gets - misses}
 }
 
 func specString(s weight.Spec) string {
