@@ -4,6 +4,7 @@
 //	benchrunner -figure4                # Figure 4 cactus series + summary
 //	benchrunner -ablation               # reduction / dual-vs-over ablations
 //	benchrunner -bench-verify           # canonical BENCH_verify.json report
+//	benchrunner -bench-ladder           # scaled ladder: one report per workload
 //	benchrunner -validate FILE          # schema-check an existing report
 //
 // Scale knobs (-services, -networks, -queries, -budget) trade fidelity for
@@ -31,6 +32,8 @@ func main() {
 	figure4 := flag.Bool("figure4", false, "run the Figure 4 sweep")
 	ablation := flag.Bool("ablation", false, "run the ablation benches")
 	benchVerify := flag.Bool("bench-verify", false, "run the canonical verification benchmark")
+	benchLadder := flag.Bool("bench-ladder", false, "run the scaled benchmark ladder (one BENCH_verify_<workload>.json per rung)")
+	ladderDir := flag.String("ladder-dir", ".", "output directory for -bench-ladder")
 	out := flag.String("out", "BENCH_verify.json", "output path for -bench-verify")
 	validate := flag.String("validate", "", "validate an existing BENCH_verify.json and exit")
 	benchNet := flag.String("bench-net", "running-example", "network for -bench-verify: running-example, nordunet, zoo")
@@ -59,9 +62,29 @@ func main() {
 		fmt.Printf("%s: valid (%s)\n", *validate, experiments.BenchVerifySchema)
 		return
 	}
-	if !*table1 && !*figure4 && !*ablation && !*benchVerify {
-		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify")
+	if !*table1 && !*figure4 && !*ablation && !*benchVerify && !*benchLadder {
+		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify, -bench-ladder")
 		os.Exit(2)
+	}
+	if *benchLadder {
+		paths, reps, err := experiments.RunBenchLadder(*ladderDir, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== Bench ladder: %d workloads ==\n", len(reps))
+		errors := 0
+		for i, rep := range reps {
+			errors += rep.Errors
+			fmt.Printf("   %-16s %d×%d queries  p50=%.2fms p90=%.2fms max=%.2fms  early-accepts=%d  errors=%d  → %s\n",
+				rep.Network, rep.Repeat, rep.Queries,
+				rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.Max,
+				rep.Saturation.EarlyAccepts, rep.Errors, paths[i])
+		}
+		if errors > 0 {
+			fmt.Fprintf(os.Stderr, "benchrunner: ladder finished with %d verification errors\n", errors)
+			os.Exit(1)
+		}
 	}
 	if *benchVerify {
 		rep, err := experiments.BenchVerify(experiments.BenchVerifyConfig{

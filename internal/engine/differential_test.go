@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -14,7 +15,9 @@ import (
 	"aalwines/internal/explicit"
 	"aalwines/internal/gen"
 	"aalwines/internal/network"
+	"aalwines/internal/obs"
 	"aalwines/internal/query"
+	"aalwines/internal/weight"
 )
 
 // diffCase is one (network, query, k) combination of the differential
@@ -147,6 +150,61 @@ func failedInts(f network.FailedSet) []int {
 		out = append(out, int(l))
 	}
 	return out
+}
+
+// TestDifferentialEarlyAccept cross-checks early-accept termination
+// against full saturation on the whole corpus: verdicts and witness
+// weights must be identical with the fast path on and off, both
+// unweighted and weighted (where early accept is disabled by dimension
+// and the runs must be byte-identical outright). The corpus must
+// actually exercise the fast path: the pds_early_accept_total counter
+// has to move over the run.
+func TestDifferentialEarlyAccept(t *testing.T) {
+	cases := diffCorpus(t)
+	spec := weight.Spec{{{Coeff: 1, Q: weight.Hops}}}
+	early0 := obs.GetCounter("pds_early_accept_total").Value()
+	for _, c := range cases {
+		q, err := query.Parse(c.text, c.net)
+		if err != nil {
+			t.Fatalf("%s %q: %v", c.net.Name, c.text, err)
+		}
+		on, err := engine.Verify(c.net, q, engine.Options{})
+		if err != nil {
+			t.Fatalf("%s %q: early on: %v", c.net.Name, c.text, err)
+		}
+		off, err := engine.Verify(c.net, q, engine.Options{NoEarlyAccept: true})
+		if err != nil {
+			t.Fatalf("%s %q: early off: %v", c.net.Name, c.text, err)
+		}
+		if on.Verdict != off.Verdict {
+			t.Errorf("%s %q (k=%d): verdict early=%v full=%v",
+				c.net.Name, c.text, c.k, on.Verdict, off.Verdict)
+		}
+		if !reflect.DeepEqual(on.Weight, off.Weight) {
+			t.Errorf("%s %q (k=%d): weight early=%v full=%v",
+				c.net.Name, c.text, c.k, on.Weight, off.Weight)
+		}
+		won, err := engine.Verify(c.net, q, engine.Options{Spec: spec})
+		if err != nil {
+			t.Fatalf("%s %q: weighted: %v", c.net.Name, c.text, err)
+		}
+		if won.Stats.EarlyAccepted {
+			t.Errorf("%s %q: weighted run reported early accept", c.net.Name, c.text)
+		}
+		woff, err := engine.Verify(c.net, q, engine.Options{Spec: spec, NoEarlyAccept: true})
+		if err != nil {
+			t.Fatalf("%s %q: weighted, early off: %v", c.net.Name, c.text, err)
+		}
+		if got, want := marshalResult(t, won), marshalResult(t, woff); !bytes.Equal(got, want) {
+			t.Errorf("%s %q (k=%d): weighted results differ\non:  %s\noff: %s",
+				c.net.Name, c.text, c.k, got, want)
+		}
+	}
+	if d := obs.GetCounter("pds_early_accept_total").Value() - early0; d == 0 {
+		t.Error("pds_early_accept_total did not move: corpus never exercised the fast path")
+	} else {
+		t.Logf("early accept fired %d times across %d combinations", d, len(cases))
+	}
 }
 
 // TestDifferentialBatchSerial runs the whole corpus through the batch

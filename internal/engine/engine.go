@@ -40,6 +40,11 @@ var (
 		obs.GetCounter(`engine_verdicts_total{verdict="satisfied"}`),
 		obs.GetCounter(`engine_verdicts_total{verdict="inconclusive"}`),
 	}
+	// mEarlyFallback counts runs where the early-accept fast path produced a
+	// witness that failed validation, forcing a full re-saturation. A high
+	// rate relative to pds_early_accept_total means the fast path is paying
+	// for itself rarely and NoEarlyAccept may be the better configuration.
+	mEarlyFallback = obs.GetCounter("engine_early_accept_fallback_total")
 )
 
 // Verdict is the outcome of a verification run.
@@ -88,6 +93,13 @@ type Options struct {
 	// exhausted budget yields ErrBudget, the analogue of the paper's
 	// 10-minute timeout.
 	Budget int64
+	// NoEarlyAccept disables early-accept termination of the unweighted
+	// over-approximation saturation (ablation). By default the engine stops
+	// saturating as soon as an accepting configuration is reachable and
+	// tries to validate that witness immediately, re-saturating to the
+	// fixed point only if validation fails; verdicts are identical either
+	// way, only the work differs.
+	NoEarlyAccept bool
 	// Saturate overrides the saturation backend (nil = pds.PoststarBudget).
 	Saturate Saturator
 	// Cache, when non-nil and bound to the verified network, memoizes
@@ -108,7 +120,11 @@ type Stats struct {
 	UnderUsed       bool
 	TransOver       int // saturated automaton transitions (over direction)
 	TransUnder      int
-	BuildTime       time.Duration
+	// EarlyAccepted reports that the over-approximation saturation stopped
+	// at the early-accept check rather than the fixed point. TransOver then
+	// counts the partial automaton unless a fallback re-saturation ran.
+	EarlyAccepted bool
+	BuildTime     time.Duration
 	OverTime        time.Duration
 	UnderTime       time.Duration
 	ReconstructTime time.Duration
@@ -197,8 +213,25 @@ func verifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts O
 	res.Stats.OverRules = len(over.PDS.Rules)
 	res.Stats.OverRulesPre = over.RulesBeforeReduction
 
+	// Early-accept applies to unweighted runs on the default backend: the
+	// saturation stops as soon as an accepting configuration is reachable,
+	// and the witness-validation pass below decides whether that was enough.
+	early := opts.Saturate == nil && !opts.NoEarlyAccept && over.Dim == 0
+
 	t1 := time.Now()
-	overRes, err := sat(over.PDS, overInit, over.Dim, opts.Budget)
+	var overRes *pds.Result
+	var err error
+	if early {
+		overRes, err = pds.PoststarOpts(over.PDS, overInit, pds.SatOptions{
+			Budget:      opts.Budget,
+			Stop:        ctx.Done(),
+			EarlyAccept: true,
+			FinalStates: over.FinalStates,
+			FinalSpec:   over.FinalSpec,
+		})
+	} else {
+		overRes, err = sat(over.PDS, overInit, over.Dim, opts.Budget)
+	}
 	res.Stats.OverTime = time.Since(t1)
 	if err != nil {
 		if cerr := ctxError(ctx, err); cerr != nil {
@@ -207,29 +240,79 @@ func verifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts O
 		return res, fmt.Errorf("engine: over-approximation: %w", err)
 	}
 	res.Stats.TransOver = overRes.Auto.NumTrans()
+	res.Stats.EarlyAccepted = overRes.EarlyAccepted
 
+	// tryWitness searches r for an accepting configuration and, if one
+	// exists, attempts to reconstruct and validate a concrete trace.
+	// decided=true means the run is settled (Satisfied, or a hard error);
+	// found reports whether an accepting configuration existed at all.
 	// Witness search, trace reconstruction and feasibility validation all
 	// count as reconstruction time; the under-approximation pass below
 	// accumulates into the same field.
-	t2 := time.Now()
-	acc, found := overRes.FindAccepting(over.FinalStates, over.FinalSpec)
-	if !found {
-		res.Stats.ReconstructTime += time.Since(t2)
-		res.Verdict = Unsatisfied
+	tryWitness := func(sys *translate.System, r *pds.Result) (decided, found bool, err error) {
+		t := time.Now()
+		acc, ok := r.FindAccepting(sys.FinalStates, sys.FinalSpec)
+		if !ok {
+			res.Stats.ReconstructTime += time.Since(t)
+			return false, false, nil
+		}
+		tr, derr := decode(sys, r, acc)
+		res.Stats.ReconstructTime += time.Since(t)
+		if derr == nil {
+			if feas := net.Feasible(tr, q.MaxFailures); feas.Feasible {
+				res.Verdict = Satisfied
+				res.Trace = tr
+				res.Failed = feas.Failed
+				res.Weight = traceWeight(net, tr, opts)
+				return true, true, nil
+			}
+		} else if !errors.Is(derr, errDecode) {
+			return true, true, derr
+		}
+		return false, true, nil
+	}
+
+	decided, found, werr := tryWitness(over, overRes)
+	if werr != nil {
+		return res, werr
+	}
+	if decided {
 		return res, nil
 	}
-	tr, err := decode(over, overRes, acc)
-	res.Stats.ReconstructTime += time.Since(t2)
-	if err == nil {
-		if feas := net.Feasible(tr, q.MaxFailures); feas.Feasible {
-			res.Verdict = Satisfied
-			res.Trace = tr
-			res.Failed = feas.Failed
-			res.Weight = traceWeight(net, tr, opts)
+	if overRes.EarlyAccepted {
+		// The partial automaton's witness did not validate (infeasible or
+		// undecodable). Any verdict other than Satisfied needs the fixed
+		// point, so re-saturate fully from a fresh initial automaton and
+		// rejoin the normal pipeline; from here on behaviour is identical
+		// to a run with NoEarlyAccept set.
+		mEarlyFallback.Inc()
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		tb := time.Now()
+		_, overInit = build(translate.Over)
+		res.Stats.BuildTime += time.Since(tb)
+		t := time.Now()
+		overRes, err = sat(over.PDS, overInit, over.Dim, opts.Budget)
+		res.Stats.OverTime += time.Since(t)
+		if err != nil {
+			if cerr := ctxError(ctx, err); cerr != nil {
+				return res, cerr
+			}
+			return res, fmt.Errorf("engine: over-approximation: %w", err)
+		}
+		res.Stats.TransOver = overRes.Auto.NumTrans()
+		decided, found, werr = tryWitness(over, overRes)
+		if werr != nil {
+			return res, werr
+		}
+		if decided {
 			return res, nil
 		}
-	} else if !errors.Is(err, errDecode) {
-		return res, err
+	}
+	if !found {
+		res.Verdict = Unsatisfied
+		return res, nil
 	}
 
 	if opts.OverOnly {

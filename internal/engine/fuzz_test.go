@@ -258,6 +258,16 @@ func FuzzVerifyBatch(f *testing.F) {
 				t.Fatalf("workers=%d %q: batch witness differs from serial\nbatch:  %s\nserial: %s",
 					w, texts[i], r.Res.Trace.Format(n), res.Trace.Format(n))
 			}
+			// Early-accept termination must not change the outcome: a run
+			// with the fast path disabled agrees on verdict and weight.
+			resNo, errNo := engine.VerifyText(n, texts[i], engine.Options{NoEarlyAccept: true})
+			if errNo != nil {
+				t.Fatalf("%q: NoEarlyAccept: %v", texts[i], errNo)
+			}
+			if resNo.Verdict != res.Verdict || !reflect.DeepEqual(resNo.Weight, res.Weight) {
+				t.Fatalf("%q: early accept changed the result: verdict %v/%v weight %v/%v",
+					texts[i], res.Verdict, resNo.Verdict, res.Weight, resNo.Weight)
+			}
 		}
 	})
 }

@@ -91,6 +91,12 @@ type BenchSaturation struct {
 	PeakDepth       int64 `json:"peakDepth"`
 	BudgetSpent     int64 `json:"budgetSpent"`
 	BudgetExhausted int64 `json:"budgetExhausted"`
+	// EarlyAccepts counts saturation runs cut short by the early-accept
+	// probe; IndexProbes counts candidate edges consulted through the
+	// per-state symbol index. Together they quantify how much of the
+	// benchmark's work the hot-path machinery saved.
+	EarlyAccepts int64 `json:"earlyAccepts"`
+	IndexProbes  int64 `json:"indexProbes"`
 }
 
 // runningExampleQueries is the φ set of the paper's running example
@@ -246,7 +252,57 @@ func saturationDelta(pre, post obs.Snapshot) BenchSaturation {
 		PeakDepth:       peak,
 		BudgetSpent:     delta("pds_budget_spent_total"),
 		BudgetExhausted: delta("pds_budget_exhausted_total"),
+		EarlyAccepts:    delta("pds_early_accept_total"),
+		IndexProbes:     delta("pds_index_probes_total"),
 	}
+}
+
+// LadderRung is one workload of the scaled benchmark ladder.
+type LadderRung struct {
+	Name string
+	Cfg  BenchVerifyConfig
+}
+
+// BenchLadder returns the canonical scaled workload ladder, smallest to
+// largest: the paper's running example, a synthesised topology-zoo-scale
+// network, and a NORDUnet-scale MPLS backbone. Each rung writes its own
+// BENCH_verify_<name>.json so regressions localise to a scale.
+func BenchLadder() []LadderRung {
+	return []LadderRung{
+		{Name: "running-example", Cfg: BenchVerifyConfig{Network: "running-example", Repeat: 3, Seed: 1}},
+		{Name: "zoo", Cfg: BenchVerifyConfig{Network: "zoo", Repeat: 3, Seed: 1}},
+		{Name: "nordunet", Cfg: BenchVerifyConfig{Network: "nordunet", Repeat: 3, Seed: 1}},
+	}
+}
+
+// RunBenchLadder runs every rung of the ladder, writes one validated
+// BENCH_verify_<name>.json per rung into dir, and returns the written
+// paths alongside the reports, in rung order.
+func RunBenchLadder(dir string, workers int) ([]string, []*BenchVerifyReport, error) {
+	var paths []string
+	var reps []*BenchVerifyReport
+	for _, rung := range BenchLadder() {
+		cfg := rung.Cfg
+		cfg.Workers = workers
+		rep, err := BenchVerify(cfg)
+		if err != nil {
+			return paths, reps, fmt.Errorf("benchverify: ladder rung %s: %w", rung.Name, err)
+		}
+		path := filepath.Join(dir, "BENCH_verify_"+rung.Name+".json")
+		if err := WriteBenchVerify(path, rep); err != nil {
+			return paths, reps, err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return paths, reps, err
+		}
+		if err := ValidateBenchVerify(data); err != nil {
+			return paths, reps, fmt.Errorf("%s: %w", path, err)
+		}
+		paths = append(paths, path)
+		reps = append(reps, rep)
+	}
+	return paths, reps, nil
 }
 
 // WriteBenchVerify writes the report to path atomically: the JSON is
@@ -322,8 +378,12 @@ func ValidateBenchVerify(data []byte) error {
 		return fmt.Errorf("benchverify: cache hit rate %g outside [0,1]", c.HitRate)
 	}
 	s := rep.Saturation
-	if s.Runs < 0 || s.WorklistPops < 0 || s.WorklistPushes < 0 || s.TransInserted < 0 {
+	if s.Runs < 0 || s.WorklistPops < 0 || s.WorklistPushes < 0 || s.TransInserted < 0 ||
+		s.EarlyAccepts < 0 || s.IndexProbes < 0 {
 		return fmt.Errorf("benchverify: negative saturation counters: %+v", s)
+	}
+	if s.EarlyAccepts > s.Runs {
+		return fmt.Errorf("benchverify: earlyAccepts=%d exceeds saturation runs=%d", s.EarlyAccepts, s.Runs)
 	}
 	if rep.ElapsedMS < 0 {
 		return fmt.Errorf("benchverify: negative elapsed %g", rep.ElapsedMS)

@@ -268,6 +268,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	body := buf.String()
 	for _, want := range []string{
 		"pds_worklist_pops_total{alg=\"poststar\"}",
+		"pds_early_accept_total",
+		"pds_index_probes_total{alg=\"poststar\"}",
+		"pds_pool_hits_total",
+		"pds_pool_misses_total",
+		"engine_early_accept_fallback_total",
 		"translate_cache_gets_total{network=\"running-example\"}",
 		"batch_query_seconds_count",
 		"engine_phase_seconds_bucket{phase=\"build\",le=",

@@ -120,6 +120,21 @@ func (s *Set) Inter(o *Set) *Set {
 	return out
 }
 
+// Intersects reports whether s ∩ o is non-empty without allocating the
+// intersection; hot in the saturation early-accept check.
+func (s *Set) Intersects(o *Set) bool {
+	w := s.words
+	if len(o.words) < len(w) {
+		w = w[:len(o.words)]
+	}
+	for i := range w {
+		if w[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Minus returns s \ o as a new set.
 func (s *Set) Minus(o *Set) *Set {
 	out := s.Clone()

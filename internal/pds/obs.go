@@ -25,12 +25,26 @@ var (
 	budgetSpent     = obs.GetCounter("pds_budget_spent_total")
 	budgetExhausted = obs.GetCounter("pds_budget_exhausted_total")
 	satStopped      = obs.GetCounter("pds_saturation_stopped_total")
+
+	// earlyAccepts counts post* runs that stopped before the fixed point
+	// because the early-accept check found an accepting configuration.
+	postEarlyAccepts = obs.GetCounter("pds_early_accept_total")
+	// indexProbes counts candidate edges (or rules) consulted through the
+	// per-state symbol indexes — the denominator for how much work the
+	// indexed adjacency saves over full out-list scans.
+	postProbes = obs.GetCounter(`pds_index_probes_total{alg="poststar"}`)
+	preProbes  = obs.GetCounter(`pds_index_probes_total{alg="prestar"}`)
+	// Scratch-pool effectiveness: a hit reuses a previous run's worklist
+	// buffers, a miss allocates fresh ones.
+	poolHits   = obs.GetCounter("pds_pool_hits_total")
+	poolMisses = obs.GetCounter("pds_pool_misses_total")
 )
 
 // satTally accumulates one saturation run's counters locally; flush adds
 // them to the process-wide registry in one shot.
 type satTally struct {
 	pops, pushes, inserted, peak int64
+	probes, earlyAccepts         int64
 }
 
 func (t *satTally) notePush(depth int) {
@@ -46,6 +60,8 @@ func (t *satTally) flushPost() {
 	postPushes.Add(t.pushes)
 	postInserted.Add(t.inserted)
 	postPeak.SetMax(t.peak)
+	postProbes.Add(t.probes)
+	postEarlyAccepts.Add(t.earlyAccepts)
 	budgetSpent.Add(t.pops)
 }
 
@@ -55,4 +71,5 @@ func (t *satTally) flushPre() {
 	prePushes.Add(t.pushes)
 	preInserted.Add(t.inserted)
 	prePeak.SetMax(t.peak)
+	preProbes.Add(t.probes)
 }

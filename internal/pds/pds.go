@@ -72,15 +72,17 @@ type PDS struct {
 	NumSyms   int
 	Rules     []Rule
 
-	// byHead indexes rules by (FromState, FromSym); built lazily.
-	byHead map[headKey][]int32
+	// byHead indexes rules by (FromState, FromSym), packed into one
+	// uint64 key (cheaper to hash than a struct key); built lazily.
+	byHead map[uint64][]int32
 	// byState indexes rules by FromState; built lazily.
 	byState [][]int32
 }
 
-type headKey struct {
-	s State
-	g Sym
+// headKey packs a rule head into a collision-free map key: states and
+// symbols are both 32-bit.
+func headKey(s State, g Sym) uint64 {
+	return uint64(uint32(s))<<32 | uint64(g)
 }
 
 // New returns an empty PDS with the given control state count and stack
@@ -115,11 +117,11 @@ func (p *PDS) AddRule(r Rule) {
 // index. AddRule after Freeze re-enters the lazy regime.
 func (p *PDS) Freeze() {
 	p.byState = make([][]int32, p.NumStates)
-	p.byHead = make(map[headKey][]int32, len(p.Rules))
+	p.byHead = make(map[uint64][]int32, len(p.Rules))
 	for i := range p.Rules {
 		f := p.Rules[i].FromState
 		p.byState[f] = append(p.byState[f], int32(i))
-		k := headKey{f, p.Rules[i].FromSym}
+		k := headKey(f, p.Rules[i].FromSym)
 		p.byHead[k] = append(p.byHead[k], int32(i))
 	}
 }
@@ -140,13 +142,13 @@ func (p *PDS) RulesFromState(s State) []int32 {
 // RulesFrom returns the indices of rules with head ⟨s,γ⟩.
 func (p *PDS) RulesFrom(s State, g Sym) []int32 {
 	if p.byHead == nil {
-		p.byHead = make(map[headKey][]int32, len(p.Rules))
+		p.byHead = make(map[uint64][]int32, len(p.Rules))
 		for i := range p.Rules {
-			k := headKey{p.Rules[i].FromState, p.Rules[i].FromSym}
+			k := headKey(p.Rules[i].FromState, p.Rules[i].FromSym)
 			p.byHead[k] = append(p.byHead[k], int32(i))
 		}
 	}
-	return p.byHead[headKey{s, g}]
+	return p.byHead[headKey(s, g)]
 }
 
 // Stats summarises a PDS for diagnostics and the reduction reports.

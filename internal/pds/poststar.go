@@ -17,6 +17,35 @@ type Result struct {
 	// Mids maps push-rule mid states back to their (state, symbol) key;
 	// diagnostic only.
 	Mids map[State][2]uint32
+	// EarlyAccepted reports that the run stopped before the fixed point
+	// because SatOptions.EarlyAccept found an accepting configuration
+	// reachable. The automaton then under-approximates post*(L(init)) but
+	// every accepted configuration — and every witness — is still sound.
+	EarlyAccepted bool
+}
+
+// SatOptions bundles the optional controls of a post* run.
+type SatOptions struct {
+	// Dim is the weight vector dimension (0 = unweighted).
+	Dim int
+	// Budget bounds the number of worklist pops (0 = unlimited); an
+	// exhausted budget aborts with ErrBudget.
+	Budget int64
+	// Stop, when non-nil and closed, aborts the run with ErrStopped at the
+	// next cadence check.
+	Stop <-chan struct{}
+	// EarlyAccept lets an unweighted run return as soon as some accepting
+	// configuration of the (FinalStates, FinalSpec) query is reachable in
+	// the partially saturated automaton, setting Result.EarlyAccepted.
+	// Weighted runs ignore it: minimal witness weights need the full fixed
+	// point, and so does any negative ("Unsatisfied") answer.
+	EarlyAccept bool
+	// FinalStates and FinalSpec define the acceptance check: states the
+	// query may end in and the ε-free NFA over the stack alphabet the
+	// final stack must match (the engine passes the translated query's
+	// FinalStates/FinalSpec).
+	FinalStates []State
+	FinalSpec   *nfa.NFA
 }
 
 // Poststar computes post*(L(init)): the saturated automaton accepts exactly
@@ -30,7 +59,7 @@ type Result struct {
 // and witness records always describe a derivation achieving the stored
 // weight.
 func Poststar(p *PDS, init *Auto, dim int) (*Result, error) {
-	return PoststarBudget(p, init, dim, 0)
+	return PoststarOpts(p, init, SatOptions{Dim: dim})
 }
 
 // ErrBudget is returned by PoststarBudget when the work budget is
@@ -42,28 +71,59 @@ var ErrBudget = errors.New("pds: post* work budget exhausted")
 // error.
 var ErrStopped = errors.New("pds: post* stopped")
 
-// PoststarBudget is Poststar with a cooperative work budget: a positive
-// budget bounds the number of worklist pops before the computation aborts
-// with ErrBudget.
+// PoststarBudget is Poststar with a cooperative work budget.
 func PoststarBudget(p *PDS, init *Auto, dim int, budget int64) (*Result, error) {
-	return PoststarStop(p, init, dim, budget, nil)
+	return PoststarOpts(p, init, SatOptions{Dim: dim, Budget: budget})
 }
 
-// PoststarStop is PoststarBudget with cooperative cancellation: when stop
-// is non-nil and closes, the computation aborts with ErrStopped at the next
-// check (every stopCheckEvery worklist pops).
+// PoststarStop is PoststarBudget with cooperative cancellation.
 func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{}) (*Result, error) {
+	return PoststarOpts(p, init, SatOptions{Dim: dim, Budget: budget, Stop: stop})
+}
+
+// edgeRef locates a worklist entry as (source state, out-edge index): the
+// pop reads the edge slot directly instead of re-resolving a Trans through
+// the transition index, and the fQueued flag on the slot replaces the old
+// inQueue map.
+type edgeRef struct {
+	from State
+	ei   int32
+}
+
+// checkEvery is the steady-state spacing of the cooperative checks in the
+// pop loop: stop-channel polls and, when enabled, the early-accept
+// reachability probe. The cadence starts at firstCheck and doubles up to
+// checkEvery, so small runs (which may saturate in well under a thousand
+// pops) still get probed a few times while large runs keep the checks
+// invisible in profiles.
+const (
+	checkEvery = 1024
+	firstCheck = 64
+)
+
+// PoststarOpts is Poststar with all optional controls.
+func PoststarOpts(p *PDS, init *Auto, o SatOptions) (*Result, error) {
 	if err := init.Validate(); err != nil {
 		return nil, err
 	}
-	var tally satTally
-	defer tally.flushPost()
+	dim, budget, stop := o.Dim, o.Budget, o.Stop
 	a := init
+	var tally satTally
+	sc := getScratch()
+	queue, head := sc.queue[:0], 0
+	defer func() {
+		sc.queue = queue
+		putScratch(sc)
+		tally.probes += a.takeProbes()
+		tally.flushPost()
+	}()
+	var wts weightArena
+	var wits witArena
 	one := func() []uint64 {
 		if dim == 0 {
 			return nil
 		}
-		return make([]uint64, dim)
+		return wts.zero(dim)
 	}
 	a.NormalizeWeights(dim)
 
@@ -79,124 +139,176 @@ func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{
 		return m
 	}
 
-	// Worklist of dirty transitions.
-	var queue []Trans
-	inQueue := map[Trans]bool{}
-	push := func(t Trans, w []uint64, wit *Witness) {
-		if a.Insert(t, w, wit) {
-			tally.inserted++
-			if !inQueue[t] {
-				inQueue[t] = true
-				queue = append(queue, t)
-				tally.notePush(len(queue))
-			}
+	enqueue := func(from State, ei int32) {
+		se := &a.states[from]
+		if se.meta[ei].flags&fQueued == 0 {
+			se.meta[ei].flags |= fQueued
+			queue = append(queue, edgeRef{from, ei})
+			tally.notePush(len(queue) - head)
 		}
+	}
+	// push inserts (or improves) a transition and, on change, materialises
+	// its witness record and puts the edge on the worklist. Deferring the
+	// record to after the insert decision is the main allocation win: most
+	// derivations re-derive an existing transition.
+	push := func(t Trans, w []uint64, kind WitKind, rule int32, predSym Sym, p1, p2 *Witness) {
+		i, changed := a.upsert(t, w)
+		if !changed {
+			return
+		}
+		tally.inserted++
+		a.states[t.From].edges[i].Wit = wits.new(Witness{
+			Kind: kind, Rule: rule, T: t, PredSym: predSym, Pred1: p1, Pred2: p2, Weight: w,
+		})
+		enqueue(t.From, i)
 	}
 	// Seed the worklist with every initial transition.
 	for s := 0; s < a.NumStates(); s++ {
-		for _, e := range a.Out(State(s)) {
-			t := Trans{State(s), e.Sym, e.To}
-			if !inQueue[t] {
-				inQueue[t] = true
-				queue = append(queue, t)
-				tally.notePush(len(queue))
-			}
+		for i := range a.states[s].edges {
+			enqueue(State(s), int32(i))
 		}
 	}
 
-	// epsInto[q] lists the sources of ε-transitions into q.
-	epsInto := map[State][]State{}
-	epsSeen := map[Trans]bool{}
+	// epsInto[q] lists the sources of ε-transitions into q; indexed by
+	// state, with lazy growth for the mid states added during the run.
+	epsInto := sc.epsIntoFor(a.NumStates())
+	epsAppend := func(to, src State) {
+		for int(to) >= len(epsInto) {
+			epsInto = append(epsInto, nil)
+		}
+		epsInto[to] = append(epsInto[to], src)
+	}
+	epsOf := func(s State) []State {
+		if int(s) < len(epsInto) {
+			return epsInto[s]
+		}
+		return nil
+	}
 
 	// applyRules fires every PDS rule matching transition t (whose source
 	// is a control state) given its current weight and witness record.
 	applyRules := func(t Trans, w []uint64, rec *Witness) {
 		apply := func(ri int32) {
 			r := &p.Rules[ri]
-			nw := lexAdd(w, ruleWeight(r, dim))
+			nw := wts.add(w, ruleWeight(r, dim))
 			switch r.Kind {
 			case PopRule:
-				nt := Trans{r.ToState, Eps, t.To}
-				push(nt, nw, &Witness{Kind: WitRule, Rule: ri, T: nt, PredSym: r.FromSym, Pred1: rec, Weight: nw})
+				push(Trans{r.ToState, Eps, t.To}, nw, WitRule, ri, r.FromSym, rec, nil)
 			case SwapRule:
-				nt := Trans{r.ToState, r.Sym1, t.To}
-				push(nt, nw, &Witness{Kind: WitRule, Rule: ri, T: nt, PredSym: r.FromSym, Pred1: rec, Weight: nw})
+				push(Trans{r.ToState, r.Sym1, t.To}, nw, WitRule, ri, r.FromSym, rec, nil)
 			case PushRule:
 				mid := midOf(r.ToState, r.Sym1)
-				ta := Trans{r.ToState, r.Sym1, mid}
-				push(ta, one(), &Witness{Kind: WitRule, Rule: ri, T: ta, PredSym: r.FromSym, Pred1: rec, Weight: one()})
-				tb := Trans{mid, r.Sym2, t.To}
-				push(tb, nw, &Witness{Kind: WitPushB, Rule: ri, T: tb, PredSym: r.FromSym, Pred1: rec, Weight: nw})
+				push(Trans{r.ToState, r.Sym1, mid}, one(), WitRule, ri, r.FromSym, rec, nil)
+				push(Trans{mid, r.Sym2, t.To}, nw, WitPushB, ri, r.FromSym, rec, nil)
 			}
 		}
 		if set := a.SymSet(t.Sym); set != nil {
-			for _, ri := range p.RulesFromState(t.From) {
+			rs := p.RulesFromState(t.From)
+			tally.probes += int64(len(rs))
+			for _, ri := range rs {
 				if set.Has(nfa.Sym(p.Rules[ri].FromSym)) {
 					apply(ri)
 				}
 			}
 		} else {
-			for _, ri := range p.RulesFrom(t.From, t.Sym) {
+			rs := p.RulesFrom(t.From, t.Sym)
+			tally.probes += int64(len(rs))
+			for _, ri := range rs {
 				apply(ri)
 			}
 		}
 	}
 
-	// stopCheckEvery spaces out the non-blocking channel polls; 1024 pops
-	// keeps the overhead invisible while bounding cancellation latency.
-	const stopCheckEvery = 1024
+	earlyOK := o.EarlyAccept && dim == 0 && o.FinalSpec != nil && len(o.FinalStates) > 0
+	var specStarts []int
+	if earlyOK {
+		specStarts = o.FinalSpec.EpsClosure(o.FinalSpec.Start())
+	}
+	finish := func(early bool) *Result {
+		res := &Result{PDS: p, Auto: a, Dim: dim, Mids: map[State][2]uint32{}, EarlyAccepted: early}
+		for k, v := range mids {
+			res.Mids[v] = k
+		}
+		return res
+	}
+	if earlyOK && acceptReachable(a, o.FinalStates, specStarts, o.FinalSpec, sc) {
+		tally.earlyAccepts = 1
+		return finish(true), nil
+	}
+
 	var work int64
-	for len(queue) > 0 {
+	nextCheck := int64(firstCheck)
+	for head < len(queue) {
 		if work++; budget > 0 && work > budget {
 			tally.pops = work
 			budgetExhausted.Inc()
 			return nil, ErrBudget
 		}
-		if stop != nil && work%stopCheckEvery == 0 {
-			select {
-			case <-stop:
+		if work == nextCheck {
+			if nextCheck < checkEvery {
+				nextCheck *= 2
+			} else {
+				nextCheck += checkEvery
+			}
+			if stop != nil {
+				select {
+				case <-stop:
+					tally.pops = work
+					satStopped.Inc()
+					return nil, ErrStopped
+				default:
+				}
+			}
+			if earlyOK && acceptReachable(a, o.FinalStates, specStarts, o.FinalSpec, sc) {
 				tally.pops = work
-				satStopped.Inc()
-				return nil, ErrStopped
-			default:
+				tally.earlyAccepts = 1
+				return finish(true), nil
 			}
 		}
-		t := queue[0]
-		queue = queue[1:]
-		inQueue[t] = false
-		e, ok := a.Get(t)
-		if !ok {
-			continue
+		ref := queue[head]
+		head++
+		if head == len(queue) {
+			queue, head = queue[:0], 0
+		} else if head >= 4096 && head*2 >= len(queue) {
+			// Compact so the backing array stops growing once the drain
+			// keeps pace with the pushes (the old slice-off-the-front
+			// worklist retained and repeatedly recopied the whole array).
+			n := copy(queue, queue[head:])
+			queue, head = queue[:n], 0
 		}
+		se := &a.states[ref.from]
+		se.meta[ref.ei].flags &^= fQueued
+		e := &se.edges[ref.ei]
+		t := Trans{ref.from, e.Sym, e.To}
 		w, rec := e.Weight, e.Wit
 
 		if t.Sym == Eps {
 			// Register and combine with everything currently leaving t.To.
-			if !epsSeen[t] {
-				epsSeen[t] = true
-				epsInto[t.To] = append(epsInto[t.To], t.From)
+			if se.meta[ref.ei].flags&fEpsReg == 0 {
+				se.meta[ref.ei].flags |= fEpsReg
+				epsAppend(t.To, t.From)
 			}
-			for _, e2 := range a.Out(t.To) {
+			out := a.states[t.To].edges
+			for i := range out {
+				e2 := &out[i]
 				if e2.Sym == Eps {
 					continue // ε-targets are never ε-sources
 				}
-				nt := Trans{t.From, e2.Sym, e2.To}
-				nw := lexAdd(w, e2.Weight)
-				push(nt, nw, &Witness{Kind: WitCombine, Rule: -1, T: nt, Pred1: rec, Pred2: e2.Wit, Weight: nw})
+				nw := wts.add(w, e2.Weight)
+				push(Trans{t.From, e2.Sym, e2.To}, nw, WitCombine, -1, 0, rec, e2.Wit)
 			}
 			continue
 		}
 
 		// Combine ε-transitions into t.From with t (the symmetric case;
 		// only mid states ever gain new outgoing transitions).
-		for _, src := range epsInto[t.From] {
+		for _, src := range epsOf(t.From) {
 			et, ok2 := a.Get(Trans{src, Eps, t.From})
 			if !ok2 {
 				continue
 			}
-			nt := Trans{src, t.Sym, t.To}
-			nw := lexAdd(et.Weight, w)
-			push(nt, nw, &Witness{Kind: WitCombine, Rule: -1, T: nt, Pred1: et.Wit, Pred2: rec, Weight: nw})
+			nw := wts.add(et.Weight, w)
+			push(Trans{src, t.Sym, t.To}, nw, WitCombine, -1, 0, et.Wit, rec)
 		}
 
 		if int(t.From) >= p.NumStates {
@@ -206,11 +318,7 @@ func PoststarStop(p *PDS, init *Auto, dim int, budget int64, stop <-chan struct{
 	}
 
 	tally.pops = work
-	res := &Result{PDS: p, Auto: a, Dim: dim, Mids: map[State][2]uint32{}}
-	for k, v := range mids {
-		res.Mids[v] = k
-	}
-	return res, nil
+	return finish(false), nil
 }
 
 func ruleWeight(r *Rule, dim int) []uint64 {

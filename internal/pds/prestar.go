@@ -7,36 +7,47 @@ package pds
 // Schwoon's Algorithm 1; it is unweighted and does not track witnesses —
 // the engine uses Poststar for witness generation and Prestar for
 // cross-validation (post*(I) ∩ F ≠ ∅ ⇔ I ∩ pre*(F) ≠ ∅).
+//
+// The worklist is drained with a head index over a shared pooled buffer:
+// the old `queue = queue[1:]` form shrank the slice's capacity with every
+// pop, so appends re-allocated and re-copied the backing array repeatedly
+// over a run. Membership tracking lives in the per-edge fQueued flag; the
+// old inQueue map is gone (pre* inserts are pure novelty checks, so an
+// edge never re-enters the worklist anyway).
 func Prestar(p *PDS, target *Auto) *Result {
 	a := target
 	var tally satTally
-	defer tally.flushPre()
+	var wits witArena
+	sc := getScratch()
+	queue, head := sc.queue[:0], 0
+	defer func() {
+		sc.queue = queue
+		putScratch(sc)
+		tally.probes += a.takeProbes()
+		tally.flushPre()
+	}()
 
-	var queue []Trans
-	inQueue := map[Trans]bool{}
 	add := func(t Trans) {
-		if _, ok := a.Get(t); ok {
+		i, changed := a.upsert(t, nil)
+		if !changed {
 			return
 		}
-		a.Insert(t, nil, &Witness{Kind: WitInitial, Rule: -1, T: t})
 		tally.inserted++
-		if !inQueue[t] {
-			inQueue[t] = true
-			queue = append(queue, t)
-			tally.notePush(len(queue))
-		}
+		se := &a.states[t.From]
+		se.edges[i].Wit = wits.new(Witness{Kind: WitInitial, Rule: -1, T: t})
+		se.meta[i].flags |= fQueued
+		queue = append(queue, edgeRef{t.From, i})
+		tally.notePush(len(queue) - head)
 	}
 
 	// Seed: existing transitions plus one step for every pop rule
 	// ⟨p,γ⟩ ↪ ⟨p′,ε⟩, which lets ⟨p, γw⟩ reach ⟨p′, w⟩ for any w.
 	for s := 0; s < a.NumStates(); s++ {
-		for _, e := range a.Out(State(s)) {
-			t := Trans{State(s), e.Sym, e.To}
-			if !inQueue[t] {
-				inQueue[t] = true
-				queue = append(queue, t)
-				tally.notePush(len(queue))
-			}
+		se := &a.states[s]
+		for i := range se.edges {
+			se.meta[i].flags |= fQueued
+			queue = append(queue, edgeRef{State(s), int32(i)})
+			tally.notePush(len(queue) - head)
 		}
 	}
 	for i := range p.Rules {
@@ -59,18 +70,28 @@ func Prestar(p *PDS, target *Auto) *Result {
 	}
 
 	// Residual rules for push rules: once ⟨p1,γ1⟩ ↪ ⟨q,γ′γ2⟩ can consume γ′
-	// into state q′, the residual ⟨p1,γ1⟩ ↪ ⟨q′,γ2⟩ applies.
+	// into state q′, the residual ⟨p1,γ1⟩ ↪ ⟨q′,γ2⟩ applies. pre* adds no
+	// automaton states, so the table is indexed by state directly.
 	type dprime struct {
 		from State
 		sym  Sym
 		sym2 Sym
 	}
-	dprimeByMid := map[State][]dprime{}
+	dprimeBy := make([][]dprime, a.NumStates())
 
-	for len(queue) > 0 {
-		t := queue[0]
-		queue = queue[1:]
-		inQueue[t] = false
+	var matchBuf []State
+	for head < len(queue) {
+		ref := queue[head]
+		head++
+		if head == len(queue) {
+			queue, head = queue[:0], 0
+		} else if head >= 4096 && head*2 >= len(queue) {
+			n := copy(queue, queue[head:])
+			queue, head = queue[:n], 0
+		}
+		se := &a.states[ref.from]
+		se.meta[ref.ei].flags &^= fQueued
+		t := Trans{ref.from, se.edges[ref.ei].Sym, se.edges[ref.ei].To}
 		tally.pops++
 
 		// Swap rules whose RHS head ⟨t.From, γ′⟩ matches this transition.
@@ -86,16 +107,15 @@ func Prestar(p *PDS, target *Auto) *Result {
 				if !a.Matches(t.Sym, r.Sym1) {
 					continue
 				}
-				dprimeByMid[t.To] = append(dprimeByMid[t.To], dprime{r.FromState, r.FromSym, r.Sym2})
-				for _, e := range a.Out(t.To) {
-					if a.Matches(e.Sym, r.Sym2) {
-						add(Trans{r.FromState, r.FromSym, e.To})
-					}
+				dprimeBy[t.To] = append(dprimeBy[t.To], dprime{r.FromState, r.FromSym, r.Sym2})
+				matchBuf = a.appendMatches(matchBuf[:0], t.To, r.Sym2)
+				for _, to := range matchBuf {
+					add(Trans{r.FromState, r.FromSym, to})
 				}
 			}
 		}
 		// Residual rules registered for t.From fire on this transition.
-		for _, d := range dprimeByMid[t.From] {
+		for _, d := range dprimeBy[t.From] {
 			if a.Matches(t.Sym, d.sym2) {
 				add(Trans{d.from, d.sym, t.To})
 			}
