@@ -8,6 +8,7 @@ package aalwines
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"aalwines/internal/batch"
@@ -17,6 +18,7 @@ import (
 	"aalwines/internal/loc"
 	"aalwines/internal/network"
 	"aalwines/internal/query"
+	"aalwines/internal/scenario"
 	"aalwines/internal/viz"
 	"aalwines/internal/weight"
 	"aalwines/internal/xmlio"
@@ -75,13 +77,33 @@ func ParseWeight(text string) (WeightSpec, error) {
 }
 
 // Verify decides the query satisfiability problem (and, with Options.Spec,
-// the minimum witness problem) for a query on a network.
-func Verify(net *Network, q *Query, opts Options) (Result, error) {
+// the minimum witness problem) for a query on a network. Cancelling ctx
+// (or letting its deadline pass) aborts the run between phases and inside
+// saturation, returning ctx's error; pass context.Background() when no
+// cancellation is needed.
+func Verify(ctx context.Context, net *Network, q *Query, opts Options) (Result, error) {
+	return engine.VerifyCtx(ctx, net, q, opts)
+}
+
+// VerifyText parses and verifies a textual query in one call, with the
+// same cancellation contract as Verify.
+func VerifyText(ctx context.Context, net *Network, queryText string, opts Options) (Result, error) {
+	return engine.VerifyTextCtx(ctx, net, queryText, opts)
+}
+
+// VerifyLegacy is the pre-context signature of Verify.
+//
+// Deprecated: use Verify with a context; this wrapper runs under
+// context.Background() and will be removed in a future release.
+func VerifyLegacy(net *Network, q *Query, opts Options) (Result, error) {
 	return engine.Verify(net, q, opts)
 }
 
-// VerifyText parses and verifies a textual query in one call.
-func VerifyText(net *Network, queryText string, opts Options) (Result, error) {
+// VerifyTextLegacy is the pre-context signature of VerifyText.
+//
+// Deprecated: use VerifyText with a context; this wrapper runs under
+// context.Background() and will be removed in a future release.
+func VerifyTextLegacy(net *Network, queryText string, opts Options) (Result, error) {
 	return engine.VerifyText(net, queryText, opts)
 }
 
@@ -114,18 +136,53 @@ func VerifyBatch(ctx context.Context, net *Network, queries []string, opts Batch
 	return batch.Verify(ctx, net, queries, opts)
 }
 
+// ScenarioSession owns a base network plus a stack of composable what-if
+// deltas (failed links, drained routers, edited routing entries). Applying
+// or undoing a delta rematerialises a cheap overlay network; verification
+// against the overlay reuses translated rule blocks for every router the
+// stack does not touch. Close a session when done to release its caches.
+type ScenarioSession = scenario.Session
+
+// ScenarioDelta is one reversible what-if mutation; build one with
+// ParseScenarioDelta or scenario file syntax (see ParseScenario).
+type ScenarioDelta = scenario.Delta
+
+// NewScenarioSession starts a what-if session on top of base. The base
+// network is never mutated; each applied delta produces a fresh overlay.
+func NewScenarioSession(base *Network) *ScenarioSession {
+	return scenario.NewSession(base)
+}
+
+// ParseScenarioDelta parses one delta command, e.g. "fail v2.oe4#v3.ie4"
+// or "drain v2"; names are resolved against the session's base network at
+// Apply time.
+func ParseScenarioDelta(line string) (ScenarioDelta, error) {
+	return scenario.ParseDelta(line)
+}
+
+// ParseScenario parses a scenario file: one delta command per line, blank
+// lines and #-comments ignored.
+func ParseScenario(text string) ([]ScenarioDelta, error) {
+	return scenario.ParseScenario(text)
+}
+
 // ReadXML loads a network from the vendor-agnostic XML format of
 // Appendix A (topo.xml + route.xml).
 func ReadXML(topo, route io.Reader) (*Network, error) {
 	return xmlio.ReadNetwork(topo, route)
 }
 
-// WriteXML serialises a network into the vendor-agnostic XML format.
+// WriteXML serialises a network into the vendor-agnostic XML format. The
+// two documents are written in order; a failure names which one broke so
+// callers writing to distinct files know which output is incomplete.
 func WriteXML(topo, route io.Writer, net *Network) error {
 	if err := xmlio.WriteTopology(topo, net); err != nil {
-		return err
+		return fmt.Errorf("writing topology document: %w", err)
 	}
-	return xmlio.WriteRouting(route, net)
+	if err := xmlio.WriteRouting(route, net); err != nil {
+		return fmt.Errorf("writing routing document: %w", err)
+	}
+	return nil
 }
 
 // ReadGML loads a topology from an Internet Topology Zoo GML file; use

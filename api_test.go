@@ -3,6 +3,7 @@ package aalwines_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 // TestPublicAPIQuickstart is the README's quickstart as a contract test.
 func TestPublicAPIQuickstart(t *testing.T) {
 	net := aalwines.RunningExample()
-	res, err := aalwines.VerifyText(net, "<ip> [.#v0] .* [v3#.] <ip> 0", aalwines.Options{})
+	res, err := aalwines.VerifyText(context.Background(), net, "<ip> [.#v0] .* [v3#.] <ip> 0", aalwines.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestPublicAPIVerifyBatch(t *testing.T) {
 	}
 	serial := make([]aalwines.Verdict, len(queries))
 	for i, q := range queries {
-		res, err := aalwines.VerifyText(net, q, aalwines.Options{})
+		res, err := aalwines.VerifyText(context.Background(), net, q, aalwines.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func TestPublicAPIWeighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := aalwines.Verify(net, q, aalwines.Options{Spec: spec})
+	res, err := aalwines.Verify(context.Background(), net, q, aalwines.Options{Spec: spec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestPublicAPIGMLAndSynthesis(t *testing.T) {
 	if net.Routing.NumRules() == 0 {
 		t.Fatal("no dataplane synthesised")
 	}
-	res, err := aalwines.VerifyText(net, "<ip> [.#A] .* [.#B] <ip> 1", aalwines.Options{})
+	res, err := aalwines.VerifyText(context.Background(), net, "<ip> [.#A] .* [.#B] <ip> 1", aalwines.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestPublicAPIOperatorNetworkAndDOT(t *testing.T) {
 	if net.Topo.NumRouters() < 31 {
 		t.Fatalf("routers = %d", net.Topo.NumRouters())
 	}
-	res, err := aalwines.VerifyText(net, "<smpls? ip> .* <. smpls ip> 0", aalwines.Options{})
+	res, err := aalwines.VerifyText(context.Background(), net, "<smpls? ip> .* <. smpls ip> 0", aalwines.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,5 +148,128 @@ func TestPublicAPIOperatorNetworkAndDOT(t *testing.T) {
 	df := aalwines.GeoDistance(net)
 	if df(0) == 0 {
 		t.Fatal("zero distance")
+	}
+}
+
+// TestPublicAPILegacyWrappers keeps the deprecated pre-context signatures
+// under contract until their removal.
+func TestPublicAPILegacyWrappers(t *testing.T) {
+	net := aalwines.RunningExample()
+	res, err := aalwines.VerifyTextLegacy(net, "<ip> [.#v0] .* [v3#.] <ip> 0", aalwines.Options{})
+	if err != nil || res.Verdict != aalwines.Satisfied {
+		t.Fatalf("VerifyTextLegacy: err=%v verdict=%v", err, res.Verdict)
+	}
+	q, err := aalwines.ParseQuery("<ip> [.#v0] .* [v3#.] <ip> 0", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := aalwines.VerifyLegacy(net, q, aalwines.Options{})
+	if err != nil || res2.Verdict != res.Verdict {
+		t.Fatalf("VerifyLegacy: err=%v verdict=%v", err, res2.Verdict)
+	}
+}
+
+// TestPublicAPICancellation pins the context contract: an already-cancelled
+// context aborts the run with its error.
+func TestPublicAPICancellation(t *testing.T) {
+	net := aalwines.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := aalwines.VerifyText(ctx, net, "<ip> [.#v0] .* [v3#.] <ip> 0", aalwines.Options{})
+	if err == nil {
+		t.Fatal("cancelled context did not abort verification")
+	}
+}
+
+// failWriter errors after n bytes, to drive WriteXML's error paths.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSink
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errSink = errors.New("sink full")
+
+// TestPublicAPIWriteXMLErrors checks a failed write names the document that
+// broke, so callers writing two files know which one is incomplete.
+func TestPublicAPIWriteXMLErrors(t *testing.T) {
+	net := aalwines.RunningExample()
+	var ok bytes.Buffer
+	err := aalwines.WriteXML(&failWriter{}, &ok, net)
+	if err == nil || !strings.Contains(err.Error(), "topology document") || !errors.Is(err, errSink) {
+		t.Fatalf("topology failure: %v", err)
+	}
+	ok.Reset()
+	err = aalwines.WriteXML(&ok, &failWriter{}, net)
+	if err == nil || !strings.Contains(err.Error(), "routing document") || !errors.Is(err, errSink) {
+		t.Fatalf("routing failure: %v", err)
+	}
+}
+
+// TestPublicAPIScenarioSession drives the what-if facade: fail a link,
+// observe the verdict change, undo, observe it restored — all without
+// mutating the base network.
+func TestPublicAPIScenarioSession(t *testing.T) {
+	net := aalwines.RunningExample()
+	s := aalwines.NewScenarioSession(net)
+	defer s.Close()
+
+	const q = "<ip> [.#v0] .* [v3#.] <ip> 0"
+	base, err := s.Verify(context.Background(), q, aalwines.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Verdict != aalwines.Satisfied {
+		t.Fatalf("base verdict = %v", base.Verdict)
+	}
+
+	d, err := aalwines.ParseScenarioDelta("fail v2.oe4#v3.ie4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, err := s.Verify(context.Background(), q, aalwines.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed.Verdict == aalwines.Satisfied && len(failed.Trace) == len(base.Trace) {
+		t.Log("failure did not change the witness; still exercises the overlay")
+	}
+	if err := s.Undo(seq); err != nil {
+		t.Fatal(err)
+	}
+	redo, err := s.Verify(context.Background(), q, aalwines.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redo.Verdict != base.Verdict {
+		t.Fatalf("undo did not restore verdict: %v vs %v", redo.Verdict, base.Verdict)
+	}
+	if net.Routing.NumRules() != s.Overlay().Routing.NumRules() {
+		t.Fatal("after full undo the overlay should be the base network")
+	}
+
+	// Scenario files parse into applicable stacks.
+	ds, err := aalwines.ParseScenario("# take out v4\ndrain v4\n\nfail v2.oe4#v3.ie4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if _, err := s.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.Deltas()) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(s.Deltas()))
 	}
 }

@@ -7,6 +7,16 @@
 // whole batch on a bounded worker pool, sharing the translated pushdown
 // systems across queries; -j sets the worker count.
 //
+// With -scenario FILE the network is mutated by a stack of what-if deltas
+// before verification: one command per line ('#' comments), e.g.
+//
+//	fail v2.oe4#v3.ie4
+//	drain v2
+//	add-entry v0.oe1#v2.ie1 s40 1 v2.oe5#v4.ie5 swap(s43);push(30)
+//
+// Queries (and -write-topology/-write-routing/-dot exports) then run
+// against the mutated overlay; the base network is never modified.
+//
 // Examples:
 //
 //	aalwines -net running-example -query '<ip> [.#v0] .* [v3#.] <ip> 0'
@@ -15,6 +25,7 @@
 //	    -weight 'Hops, Failures + 3*Tunnels' -json
 //	aalwines -topo topo.xml -routing route.xml -query '...' -engine moped
 //	aalwines -net zoo -routers 84 -queries what-if.q -j 4 -json
+//	aalwines -net running-example -scenario outage.wif -queries what-if.q -json
 //	aalwines -net zoo -routers 84 -write-topology topo.xml -write-routing route.xml
 package main
 
@@ -32,6 +43,7 @@ import (
 	"aalwines/internal/loc"
 	"aalwines/internal/moped"
 	"aalwines/internal/obs"
+	"aalwines/internal/scenario"
 	"aalwines/internal/viz"
 	"aalwines/internal/weight"
 	"aalwines/internal/xmlio"
@@ -59,6 +71,7 @@ func run() error {
 
 	queryText := flag.String("query", "", "reachability query <a> b <c> k")
 	queriesFile := flag.String("queries", "", "file with one query per line ('#' comments); runs them as a batch")
+	scenarioFile := flag.String("scenario", "", "what-if scenario file: one delta command per line, applied before verification")
 	workers := flag.Int("j", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
 	flag.IntVar(workers, "parallel", 0, "alias for -j")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query wall-clock deadline for -queries batches (0 = none)")
@@ -89,6 +102,28 @@ func run() error {
 	net, err := cli.Load(nf)
 	if err != nil {
 		return err
+	}
+
+	// A scenario mutates the network up front: exports and queries below
+	// all see the overlay, never the base.
+	var sess *scenario.Session
+	if *scenarioFile != "" {
+		text, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			return err
+		}
+		deltas, err := scenario.ParseScenario(string(text))
+		if err != nil {
+			return fmt.Errorf("%s: %w", *scenarioFile, err)
+		}
+		sess = scenario.NewSession(net)
+		defer sess.Close()
+		for _, d := range deltas {
+			if _, err := sess.Apply(d); err != nil {
+				return fmt.Errorf("%s: %q: %w", *scenarioFile, d.Canon(), err)
+			}
+		}
+		net = sess.Overlay()
 	}
 
 	wrote := false
@@ -153,9 +188,15 @@ func run() error {
 		if len(texts) == 0 {
 			return fmt.Errorf("%s: no queries", *queriesFile)
 		}
-		results := batch.Verify(context.Background(), net, texts, batch.Options{
-			Workers: *workers, Timeout: *queryTimeout, Engine: opts,
-		})
+		bopts := batch.Options{Workers: *workers, Timeout: *queryTimeout, Engine: opts}
+		var results []batch.Result
+		if sess != nil {
+			// Route through the session so translations reuse the
+			// incremental block store.
+			results = sess.VerifyBatch(context.Background(), texts, bopts)
+		} else {
+			results = batch.Verify(context.Background(), net, texts, bopts)
+		}
 		failed, err := cli.PrintBatch(os.Stdout, net, results, *asJSON)
 		if err != nil {
 			return err
@@ -166,7 +207,12 @@ func run() error {
 		return nil
 	}
 
-	res, err := engine.VerifyText(net, *queryText, opts)
+	var res engine.Result
+	if sess != nil {
+		res, err = sess.Verify(context.Background(), *queryText, opts)
+	} else {
+		res, err = engine.VerifyText(net, *queryText, opts)
+	}
 	if err != nil {
 		return err
 	}

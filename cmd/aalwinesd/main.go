@@ -6,9 +6,17 @@
 //	aalwinesd -listen :8080 -net nordunet -services 4 \
 //	          -topo extra-topo.xml -routing extra-route.xml
 //
-// Endpoints: GET /api/networks, GET /api/networks/{name}/topology,
-// POST /api/verify, POST /api/verify-batch, GET /metrics (Prometheus
-// text), GET /healthz. See internal/httpapi for the schema.
+// Endpoints (all under the versioned prefix): GET /api/v1/networks,
+// GET /api/v1/networks/{name}/topology, POST /api/v1/verify,
+// POST /api/v1/verify-batch, the scenario-session routes
+// (POST/GET /api/v1/sessions, GET/DELETE /api/v1/sessions/{id},
+// POST /api/v1/sessions/{id}/deltas, DELETE /api/v1/sessions/{id}/deltas/{seq},
+// POST /api/v1/sessions/{id}/verify{,-batch}), GET /metrics (Prometheus
+// text) and GET /healthz. The pre-versioning /api/* paths still answer,
+// with a Deprecation header and a Link to their successor. Errors on every
+// route share one JSON envelope ({code, message, details, stats?}); see
+// internal/httpapi for the schema and cmd/apicontract for the golden-file
+// contract check.
 //
 // With -debug-addr a second listener serves the operator-facing debug
 // surface — /metrics, /debug/vars (expvar, including the metrics registry

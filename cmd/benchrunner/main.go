@@ -5,6 +5,7 @@
 //	benchrunner -ablation               # reduction / dual-vs-over ablations
 //	benchrunner -bench-verify           # canonical BENCH_verify.json report
 //	benchrunner -bench-ladder           # scaled ladder: one report per workload
+//	benchrunner -bench-scenario         # what-if session reuse: BENCH_scenario.json
 //	benchrunner -validate FILE          # schema-check an existing report
 //
 // Scale knobs (-services, -networks, -queries, -budget) trade fidelity for
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -33,9 +35,11 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the ablation benches")
 	benchVerify := flag.Bool("bench-verify", false, "run the canonical verification benchmark")
 	benchLadder := flag.Bool("bench-ladder", false, "run the scaled benchmark ladder (one BENCH_verify_<workload>.json per rung)")
+	benchScenario := flag.Bool("bench-scenario", false, "run the what-if session benchmark (rule-block reuse vs from-scratch)")
 	ladderDir := flag.String("ladder-dir", ".", "output directory for -bench-ladder")
 	out := flag.String("out", "BENCH_verify.json", "output path for -bench-verify")
-	validate := flag.String("validate", "", "validate an existing BENCH_verify.json and exit")
+	scenarioOut := flag.String("scenario-out", "BENCH_scenario.json", "output path for -bench-scenario")
+	validate := flag.String("validate", "", "validate an existing BENCH_verify.json or BENCH_scenario.json and exit")
 	benchNet := flag.String("bench-net", "running-example", "network for -bench-verify: running-example, nordunet, zoo")
 	repeat := flag.Int("repeat", 3, "query-set sweeps for -bench-verify (runs after the first hit the warm cache)")
 
@@ -55,15 +59,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
-		if err := experiments.ValidateBenchVerify(data); err != nil {
+		// Dispatch on the embedded schema string.
+		schema := experiments.BenchVerifySchema
+		if bytes.Contains(data, []byte(experiments.BenchScenarioSchema)) {
+			schema = experiments.BenchScenarioSchema
+			err = experiments.ValidateBenchScenario(data)
+		} else {
+			err = experiments.ValidateBenchVerify(data)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: valid (%s)\n", *validate, experiments.BenchVerifySchema)
+		fmt.Printf("%s: valid (%s)\n", *validate, schema)
 		return
 	}
-	if !*table1 && !*figure4 && !*ablation && !*benchVerify && !*benchLadder {
-		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify, -bench-ladder")
+	if !*table1 && !*figure4 && !*ablation && !*benchVerify && !*benchLadder && !*benchScenario {
+		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify, -bench-ladder, -bench-scenario")
 		os.Exit(2)
 	}
 	if *benchLadder {
@@ -105,6 +117,37 @@ func main() {
 		fmt.Printf("   cache hit rate %.1f%% (%d entries), %d saturation runs, %d pops\n",
 			rep.Cache.HitRate*100, rep.Cache.Entries, rep.Saturation.Runs, rep.Saturation.WorklistPops)
 		fmt.Printf("   wrote %s\n", *out)
+	}
+	if *benchScenario {
+		rep, err := experiments.BenchScenario(experiments.BenchScenarioConfig{
+			Workers: *parallel, Budget: *budget, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteBenchScenario(*scenarioOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(*scenarioOut)
+		if err == nil {
+			err = experiments.ValidateBenchScenario(data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== Scenario bench: %d queries on %s (%d routers), delta %q ==\n",
+			rep.Queries, rep.Network, rep.Routers, rep.Delta)
+		fmt.Printf("   cold         %8.2fms  %4d blocks built\n",
+			rep.Cold.ElapsedMS, rep.Cold.BlocksRebuilt)
+		fmt.Printf("   incremental  %8.2fms  %4d reused / %d rebuilt (%.0f%% reuse)\n",
+			rep.Incremental.ElapsedMS, rep.Incremental.BlocksReused,
+			rep.Incremental.BlocksRebuilt, rep.Incremental.ReuseRate*100)
+		fmt.Printf("   from-scratch %8.2fms  0 reused (speedup %.2fx)\n",
+			rep.Scratch.ElapsedMS, rep.SpeedupX)
+		fmt.Printf("   wrote %s\n", *scenarioOut)
 	}
 	if *table1 {
 		fmt.Printf("== Table 1: query verification time (seconds) ==\n")

@@ -1,6 +1,7 @@
 package aalwines_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,7 +11,7 @@ import (
 // ExampleVerifyText verifies the paper's φ0 on the Figure 1 network.
 func ExampleVerifyText() {
 	net := aalwines.RunningExample()
-	res, err := aalwines.VerifyText(net, "<ip> [.#v0] .* [v3#.] <ip> 0", aalwines.Options{})
+	res, err := aalwines.VerifyText(context.Background(), net, "<ip> [.#v0] .* [v3#.] <ip> 0", aalwines.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func ExampleVerify_weighted() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := aalwines.Verify(net, q, aalwines.Options{Spec: spec})
+	res, err := aalwines.Verify(context.Background(), net, q, aalwines.Options{Spec: spec})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,11 +47,11 @@ func ExampleVerifyText_failover() {
 	net := aalwines.RunningExample()
 	q0 := "<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 0"
 	q1 := "<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 1"
-	r0, err := aalwines.VerifyText(net, q0, aalwines.Options{})
+	r0, err := aalwines.VerifyText(context.Background(), net, q0, aalwines.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	r1, err := aalwines.VerifyText(net, q1, aalwines.Options{})
+	r1, err := aalwines.VerifyText(context.Background(), net, q1, aalwines.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -80,10 +80,10 @@ type Result struct {
 // API, the experiment sweeps) amortise translation across runs. A Runner
 // is safe for concurrent use; overlapping Verify calls share the caches.
 type Runner struct {
-	net   *network.Network
-	cache *translate.Cache
+	cache translate.Getter
 
 	mu     sync.Mutex
+	net    *network.Network
 	parsed map[string]*parseEntry
 }
 
@@ -93,17 +93,41 @@ type parseEntry struct {
 	err  error
 }
 
-// NewRunner returns a runner bound to the network.
+// NewRunner returns a runner bound to the network with a fresh
+// translation cache.
 func NewRunner(net *network.Network) *Runner {
+	return NewRunnerWithCache(net, translate.NewCache(net))
+}
+
+// NewRunnerWithCache returns a runner using a caller-supplied translation
+// cache — a scenario session passes its SessionCache here so batch runs
+// share the session's incrementally maintained systems. The cache must be
+// bound to net (cache.Net() == net), or every run builds from scratch.
+func NewRunnerWithCache(net *network.Network, cache translate.Getter) *Runner {
 	return &Runner{
 		net:    net,
-		cache:  translate.NewCache(net),
+		cache:  cache,
 		parsed: make(map[string]*parseEntry),
 	}
 }
 
-// Network returns the network the runner is bound to.
-func (r *Runner) Network() *network.Network { return r.net }
+// Network returns the network the runner is currently bound to.
+func (r *Runner) Network() *network.Network {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.net
+}
+
+// Rebind points the runner at a new network sharing the previous one's
+// topology and label table (a scenario overlay after a delta). Parsed
+// queries are kept: query compilation reads only labels and topology,
+// which overlays share with their base. In-flight batches keep verifying
+// the network they started with.
+func (r *Runner) Rebind(net *network.Network) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.net = net
+}
 
 // CacheStats reports the translation cache counters.
 func (r *Runner) CacheStats() translate.CacheStats { return r.cache.Stats() }
@@ -118,9 +142,10 @@ func (r *Runner) parse(text string) (*query.Query, error) {
 		e = &parseEntry{}
 		r.parsed[text] = e
 	}
+	net := r.net
 	r.mu.Unlock()
 	e.once.Do(func() {
-		e.q, e.err = query.Parse(text, r.net)
+		e.q, e.err = query.Parse(text, net)
 	})
 	return e.q, e.err
 }
@@ -138,6 +163,7 @@ func (r *Runner) Verify(ctx context.Context, queries []string, opts Options) []R
 	}
 	eopts := opts.Engine
 	eopts.Cache = r.cache
+	net := r.Network()
 
 	mBatches.Inc()
 	mQueries.Add(int64(len(queries)))
@@ -160,7 +186,7 @@ func (r *Runner) Verify(ctx context.Context, queries []string, opts Options) []R
 				mQueueWait.ObserveDuration(time.Since(enqueued[i]))
 				mBusy.Add(1)
 				t0 := time.Now()
-				results[i] = r.one(ctx, i, queries[i], opts.Timeout, eopts)
+				results[i] = r.one(ctx, net, i, queries[i], opts.Timeout, eopts)
 				mBusySecs.Add(time.Since(t0).Seconds())
 				mBusy.Add(-1)
 				mLatency.ObserveDuration(results[i].Elapsed)
@@ -176,7 +202,7 @@ func (r *Runner) Verify(ctx context.Context, queries []string, opts Options) []R
 
 // one verifies a single query under the batch context plus the per-query
 // deadline.
-func (r *Runner) one(ctx context.Context, i int, text string, timeout time.Duration, eopts engine.Options) Result {
+func (r *Runner) one(ctx context.Context, net *network.Network, i int, text string, timeout time.Duration, eopts engine.Options) Result {
 	res := Result{Index: i, Query: text}
 	t0 := time.Now()
 	if err := ctx.Err(); err != nil {
@@ -196,7 +222,7 @@ func (r *Runner) one(ctx context.Context, i int, text string, timeout time.Durat
 		qctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	res.Res, res.Err = engine.VerifyCtx(qctx, r.net, q, eopts)
+	res.Res, res.Err = engine.VerifyCtx(qctx, net, q, eopts)
 	res.Stats = res.Res.Stats
 	res.Elapsed = time.Since(t0)
 	return res

@@ -107,24 +107,25 @@ type Options struct {
 	// (query, direction, spec, reductions) and shared read-only, with a
 	// fresh initial automaton cloned per run. Used by the batch runner; any
 	// long-lived caller verifying many queries against one network can set
-	// it. Runs with a Dist override bypass the cache (functions are not
-	// keyable).
-	Cache *translate.Cache
+	// it. Accepts any translate.Getter — translate.Cache for immutable
+	// networks, translate.SessionCache for scenario overlays. Runs with a
+	// Dist override bypass the cache (functions are not keyable).
+	Cache translate.Getter
 }
 
 // Stats reports sizes and timings of a run.
 type Stats struct {
-	OverRules       int
-	OverRulesPre    int // before reduction
-	UnderRules      int
-	UnderUsed       bool
-	TransOver       int // saturated automaton transitions (over direction)
-	TransUnder      int
+	OverRules    int
+	OverRulesPre int // before reduction
+	UnderRules   int
+	UnderUsed    bool
+	TransOver    int // saturated automaton transitions (over direction)
+	TransUnder   int
 	// EarlyAccepted reports that the over-approximation saturation stopped
 	// at the early-accept check rather than the fixed point. TransOver then
 	// counts the partial automaton unless a fallback re-saturation ran.
-	EarlyAccepted bool
-	BuildTime     time.Duration
+	EarlyAccepted   bool
+	BuildTime       time.Duration
 	OverTime        time.Duration
 	UnderTime       time.Duration
 	ReconstructTime time.Duration
@@ -398,9 +399,15 @@ func traceWeight(net *network.Network, tr network.Trace, opts Options) weight.Ve
 // VerifyText parses and verifies a textual query; a convenience wrapper
 // used by the CLI and examples.
 func VerifyText(net *network.Network, queryText string, opts Options) (Result, error) {
+	return VerifyTextCtx(context.Background(), net, queryText, opts)
+}
+
+// VerifyTextCtx is VerifyText with cooperative cancellation, mirroring
+// VerifyCtx.
+func VerifyTextCtx(ctx context.Context, net *network.Network, queryText string, opts Options) (Result, error) {
 	q, err := query.Parse(queryText, net)
 	if err != nil {
 		return Result{}, err
 	}
-	return Verify(net, q, opts)
+	return VerifyCtx(ctx, net, q, opts)
 }

@@ -314,6 +314,12 @@ func WriteBenchVerify(path string, rep *BenchVerifyReport) error {
 		return err
 	}
 	data = append(data, '\n')
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic stages data in a temp file next to path and renames it
+// into place, so a concurrent reader never sees a partial document.
+func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {

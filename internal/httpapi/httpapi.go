@@ -1,19 +1,42 @@
 // Package httpapi exposes the verification engine as a JSON-over-HTTP
 // service, playing the role of the backend that serves the AalWiNes web
-// GUI (§4 of the paper runs it at demo.aalwines.cs.aau.dk). The API serves
-// the loaded networks' topologies (for visualisation) and runs queries:
+// GUI (§4 of the paper runs it at demo.aalwines.cs.aau.dk). The API is
+// versioned under /api/v1 and serves the loaded networks' topologies (for
+// visualisation), runs queries, and hosts scenario sessions for
+// incremental what-if analysis:
 //
-//	GET  /api/networks                  → available networks
-//	GET  /api/networks/{name}/topology  → routers (with coordinates) + links
-//	POST /api/verify                    → run a query, returns the verdict,
-//	                                      witness trace and timings
-//	POST /api/verify-batch              → run many queries on a worker pool
-//	GET  /healthz                       → liveness probe
+//	GET    /api/v1/networks                    → available networks
+//	GET    /api/v1/networks/{name}/topology    → routers (with coordinates) + links
+//	POST   /api/v1/verify                      → run a query, returns the verdict,
+//	                                             witness trace and timings
+//	POST   /api/v1/verify-batch                → run many queries on a worker pool
+//	POST   /api/v1/sessions                    → open a scenario session on a network
+//	GET    /api/v1/sessions                    → list open sessions
+//	GET    /api/v1/sessions/{id}               → session state (deltas, cache stats)
+//	DELETE /api/v1/sessions/{id}               → close a session
+//	POST   /api/v1/sessions/{id}/deltas        → apply delta commands (atomic)
+//	DELETE /api/v1/sessions/{id}/deltas/{seq}  → undo one delta
+//	POST   /api/v1/sessions/{id}/verify        → verify against the session overlay
+//	POST   /api/v1/sessions/{id}/verify-batch  → batch-verify against the overlay
+//	GET    /healthz                            → liveness probe
+//	GET    /metrics                            → Prometheus text exposition
+//
+// The pre-versioning paths (/api/networks, /api/verify, ...) remain as
+// deprecated aliases: same handlers, plus a "Deprecation: true" header and
+// a Link header pointing at the successor route.
+//
+// Every error response, on every route, uses the same JSON envelope
+// {code, message, details?, stats?} — code is machine-readable
+// ("bad-request", "not-found", "query-error", "budget-exhausted",
+// "deadline-exceeded", "cancelled"), details carries request-specific
+// context (e.g. the delta command that failed), and stats carries the
+// partial timings/sizes of an aborted verification.
 //
 // Networks are immutable after registration, so verification requests run
 // concurrently without locking. Each network gets a batch.Runner whose
-// translation cache is shared by all verification requests — repeated
-// what-if queries from the GUI skip the pushdown-system construction.
+// translation cache is shared by all verification requests; scenario
+// sessions additionally maintain an incremental cache that re-translates
+// only the rule blocks their deltas touch.
 package httpapi
 
 import (
@@ -21,6 +44,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +56,7 @@ import (
 	"aalwines/internal/moped"
 	"aalwines/internal/network"
 	"aalwines/internal/obs"
+	"aalwines/internal/scenario"
 	"aalwines/internal/weight"
 )
 
@@ -41,12 +66,22 @@ type Server struct {
 	mu       sync.RWMutex
 	networks map[string]*network.Network
 	runners  map[string]*batch.Runner
+	sessions map[string]*sessionEntry
+	nextSess int
 	// MaxBudget caps per-request saturation work (0 = unlimited); requests
 	// may lower it but not exceed it.
 	MaxBudget int64
 	// Parallel caps the worker pool of a batch request (0 = GOMAXPROCS);
 	// requests may ask for fewer workers but not more.
 	Parallel int
+	// MaxSessions caps concurrently open scenario sessions (0 = 64).
+	MaxSessions int
+}
+
+type sessionEntry struct {
+	id      string
+	netName string
+	sess    *scenario.Session
 }
 
 // NewServer returns an empty server.
@@ -54,6 +89,8 @@ func NewServer() *Server {
 	return &Server{
 		networks: make(map[string]*network.Network),
 		runners:  make(map[string]*batch.Runner),
+		sessions: make(map[string]*sessionEntry),
+		nextSess: 1,
 	}
 }
 
@@ -72,15 +109,83 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /api/networks", s.handleList)
-	mux.HandleFunc("GET /api/networks/{name}/topology", s.handleTopology)
-	mux.HandleFunc("POST /api/verify", s.handleVerify)
-	mux.HandleFunc("POST /api/verify-batch", s.handleVerifyBatch)
+
+	mux.HandleFunc("GET /api/v1/networks", s.handleList)
+	mux.HandleFunc("GET /api/v1/networks/{name}/topology", s.handleTopology)
+	mux.HandleFunc("POST /api/v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /api/v1/verify-batch", s.handleVerifyBatch)
+
+	mux.HandleFunc("POST /api/v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /api/v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleSessionClose)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/deltas", s.handleSessionDeltas)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}/deltas/{seq}", s.handleSessionUndo)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/verify", s.handleSessionVerify)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/verify-batch", s.handleSessionVerifyBatch)
+
+	// Deprecated pre-versioning aliases. Same handlers; responses carry a
+	// Deprecation header and a Link to the successor route.
+	mux.HandleFunc("GET /api/networks", deprecated("/api/v1/networks", s.handleList))
+	mux.HandleFunc("GET /api/networks/{name}/topology",
+		deprecated("/api/v1/networks/{name}/topology", s.handleTopology))
+	mux.HandleFunc("POST /api/verify", deprecated("/api/v1/verify", s.handleVerify))
+	mux.HandleFunc("POST /api/verify-batch", deprecated("/api/v1/verify-batch", s.handleVerifyBatch))
+
 	// Prometheus text exposition of the process-wide metrics registry:
 	// saturation counters, translation-cache effectiveness, batch latency
-	// histograms, per-phase engine timings.
+	// histograms, per-phase engine timings, scenario session gauges.
 	mux.Handle("GET /metrics", obs.Handler(obs.Default))
 	return mux
+}
+
+// deprecated wraps a handler for a legacy route alias.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `<`+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// ErrorEnvelope is the single error shape every route returns.
+type ErrorEnvelope struct {
+	// Code is the machine-readable classification: "bad-request",
+	// "not-found", or a verification code from cli.ErrorCode
+	// ("query-error", "budget-exhausted", "deadline-exceeded",
+	// "cancelled").
+	Code string `json:"code"`
+	// Message is the human-readable error.
+	Message string `json:"message"`
+	// Details carries request-specific context, e.g. the offending delta
+	// command or the unknown network name.
+	Details map[string]string `json:"details,omitempty"`
+	// Stats carries the partial timings/sizes of an aborted verification.
+	Stats *ErrorStats `json:"stats,omitempty"`
+}
+
+// ErrorStats is the stats member of the error envelope.
+type ErrorStats struct {
+	TimingMS cli.Timings `json:"timingMs"`
+	Sizes    cli.Sizes   `json:"sizes"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Code: code, Message: msg})
+}
+
+func writeErrorDetails(w http.ResponseWriter, status int, code, msg string, details map[string]string) {
+	writeJSON(w, status, ErrorEnvelope{Code: code, Message: msg, Details: details})
+}
+
+// writeVerifyError writes a verification failure with its machine-readable
+// code and the partial stats of the aborted run.
+func writeVerifyError(w http.ResponseWriter, err error, st engine.Stats) {
+	writeJSON(w, errStatus(err), ErrorEnvelope{
+		Code:    cli.ErrorCode(err),
+		Message: err.Error(),
+		Stats:   &ErrorStats{TimingMS: cli.TimingsOf(st), Sizes: cli.SizesOf(st)},
+	})
 }
 
 // NetworkInfo summarises one registered network.
@@ -131,7 +236,8 @@ type LinkJSON struct {
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	net, _ := s.lookup(r.PathValue("name"))
 	if net == nil {
-		writeError(w, http.StatusNotFound, "unknown network")
+		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown network",
+			map[string]string{"network": r.PathValue("name")})
 		return
 	}
 	out := TopologyJSON{Name: net.Name}
@@ -154,7 +260,8 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// VerifyRequest is the body of POST /api/verify.
+// VerifyRequest is the body of POST /api/v1/verify. Session verify bodies
+// are the same minus the network field (ignored there).
 type VerifyRequest struct {
 	Network string `json:"network"`
 	Query   string `json:"query"`
@@ -172,8 +279,8 @@ type VerifyRequest struct {
 }
 
 // engineOptions validates the engine-facing request fields shared by the
-// single and batch verify endpoints. On failure it writes a 400 and
-// returns ok=false.
+// single and batch verify endpoints. On failure it writes a 400 envelope
+// and returns ok=false.
 func (s *Server) engineOptions(w http.ResponseWriter, net *network.Network,
 	weightStr, engineName string, budget int64, geo, noReductions bool) (engine.Options, bool) {
 	opts := engine.Options{NoReductions: noReductions}
@@ -184,7 +291,7 @@ func (s *Server) engineOptions(w http.ResponseWriter, net *network.Network,
 	if weightStr != "" {
 		spec, err := weight.ParseSpec(weightStr)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
 			return opts, false
 		}
 		opts.Spec = spec
@@ -196,12 +303,12 @@ func (s *Server) engineOptions(w http.ResponseWriter, net *network.Network,
 	case "", "dual":
 	case "moped":
 		if opts.Spec != nil {
-			writeError(w, http.StatusBadRequest, "the moped engine does not support weights")
+			writeError(w, http.StatusBadRequest, "bad-request", "the moped engine does not support weights")
 			return opts, false
 		}
 		opts.Saturate = moped.Poststar
 	default:
-		writeError(w, http.StatusBadRequest, "unknown engine "+engineName)
+		writeError(w, http.StatusBadRequest, "bad-request", "unknown engine "+engineName)
 		return opts, false
 	}
 	return opts, true
@@ -210,16 +317,17 @@ func (s *Server) engineOptions(w http.ResponseWriter, net *network.Network,
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req VerifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error())
 		return
 	}
 	net, runner := s.lookup(req.Network)
 	if net == nil {
-		writeError(w, http.StatusNotFound, "unknown network "+req.Network)
+		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown network "+req.Network,
+			map[string]string{"network": req.Network})
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		writeError(w, http.StatusBadRequest, "empty query")
+		writeError(w, http.StatusBadRequest, "bad-request", "empty query")
 		return
 	}
 	opts, ok := s.engineOptions(w, net, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
@@ -239,8 +347,8 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, cli.ToJSON(net, req.Query, br.Res))
 }
 
-// VerifyBatchRequest is the body of POST /api/verify-batch: one network,
-// many queries, shared engine configuration.
+// VerifyBatchRequest is the body of POST /api/v1/verify-batch: one
+// network, many queries, shared engine configuration.
 type VerifyBatchRequest struct {
 	Network string   `json:"network"`
 	Queries []string `json:"queries"`
@@ -268,34 +376,315 @@ type VerifyBatchResponse struct {
 func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	var req VerifyBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error())
 		return
 	}
 	net, runner := s.lookup(req.Network)
 	if net == nil {
-		writeError(w, http.StatusNotFound, "unknown network "+req.Network)
+		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown network "+req.Network,
+			map[string]string{"network": req.Network})
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, "no queries")
+		writeError(w, http.StatusBadRequest, "bad-request", "no queries")
 		return
 	}
 	opts, ok := s.engineOptions(w, net, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
 	if !ok {
 		return
 	}
-	workers := req.Workers
-	if s.Parallel > 0 && (workers <= 0 || workers > s.Parallel) {
-		workers = s.Parallel
-	}
 	start := time.Now()
 	results := runner.Verify(r.Context(), req.Queries, batch.Options{
-		Workers: workers,
+		Workers: s.clampWorkers(req.Workers),
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 		Engine:  opts,
 	})
 	writeJSON(w, http.StatusOK, VerifyBatchResponse{
 		Results:   cli.BatchToJSON(net, results),
+		ElapsedMS: time.Since(start).Seconds() * 1000,
+	})
+}
+
+func (s *Server) clampWorkers(workers int) int {
+	if s.Parallel > 0 && (workers <= 0 || workers > s.Parallel) {
+		return s.Parallel
+	}
+	return workers
+}
+
+// --- Scenario sessions -------------------------------------------------
+
+// SessionCreateRequest is the body of POST /api/v1/sessions.
+type SessionCreateRequest struct {
+	Network string `json:"network"`
+	// Deltas optionally applies an initial command stack atomically with
+	// creation.
+	Deltas []string `json:"deltas,omitempty"`
+}
+
+// SessionJSON describes one scenario session.
+type SessionJSON struct {
+	ID      string `json:"id"`
+	Network string `json:"network"`
+	// Fingerprint identifies the delta stack; translations are cached
+	// under it.
+	Fingerprint string                  `json:"fingerprint"`
+	Deltas      []scenario.AppliedDelta `json:"deltas"`
+	Cache       *SessionCacheStatsJSON  `json:"cache,omitempty"`
+}
+
+// SessionCacheStatsJSON reports a session's translation reuse.
+type SessionCacheStatsJSON struct {
+	Gets          int64 `json:"gets"`
+	Hits          int64 `json:"hits"`
+	BlocksReused  int   `json:"blocksReused"`
+	BlocksRebuilt int   `json:"blocksRebuilt"`
+}
+
+func sessionJSON(e *sessionEntry, withStats bool) SessionJSON {
+	out := SessionJSON{
+		ID:          e.id,
+		Network:     e.netName,
+		Fingerprint: fmt.Sprintf("%016x", e.sess.Fingerprint()),
+		Deltas:      e.sess.Deltas(),
+	}
+	if out.Deltas == nil {
+		out.Deltas = []scenario.AppliedDelta{}
+	}
+	if withStats {
+		cs, bs := e.sess.CacheStats(), e.sess.BlockStats()
+		out.Cache = &SessionCacheStatsJSON{
+			Gets: cs.Gets, Hits: cs.Hits,
+			BlocksReused: bs.BlocksReused, BlocksRebuilt: bs.BlocksRebuilt,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionCreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error())
+		return
+	}
+	net, _ := s.lookup(req.Network)
+	if net == nil {
+		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown network "+req.Network,
+			map[string]string{"network": req.Network})
+		return
+	}
+	maxSess := s.MaxSessions
+	if maxSess == 0 {
+		maxSess = 64
+	}
+	sess := scenario.NewSession(net)
+	for _, cmd := range req.Deltas {
+		if _, err := sess.ApplyText(cmd); err != nil {
+			sess.Close()
+			writeErrorDetails(w, http.StatusUnprocessableEntity, "bad-request", err.Error(),
+				map[string]string{"command": cmd})
+			return
+		}
+	}
+	s.mu.Lock()
+	if len(s.sessions) >= maxSess {
+		s.mu.Unlock()
+		sess.Close()
+		writeError(w, http.StatusTooManyRequests, "bad-request",
+			fmt.Sprintf("session limit reached (%d open)", maxSess))
+		return
+	}
+	e := &sessionEntry{
+		id:      fmt.Sprintf("s%d", s.nextSess),
+		netName: req.Network,
+		sess:    sess,
+	}
+	s.nextSess++
+	s.sessions[e.id] = e
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sessionJSON(e, false))
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	entries := make([]*sessionEntry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]SessionJSON, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, sessionJSON(e, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookupSession fetches a session entry, writing a 404 envelope when
+// missing.
+func (s *Server) lookupSession(w http.ResponseWriter, id string) *sessionEntry {
+	s.mu.RLock()
+	e := s.sessions[id]
+	s.mu.RUnlock()
+	if e == nil {
+		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown session "+id,
+			map[string]string{"session": id})
+		return nil
+	}
+	return e
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	e := s.lookupSession(w, r.PathValue("id"))
+	if e == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionJSON(e, true))
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if e == nil {
+		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown session "+id,
+			map[string]string{"session": id})
+		return
+	}
+	e.sess.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// SessionDeltasRequest is the body of POST /api/v1/sessions/{id}/deltas:
+// one or more delta commands, applied atomically (all or none).
+type SessionDeltasRequest struct {
+	Commands []string `json:"commands"`
+}
+
+// SessionDeltasResponse reports the applied commands and the resulting
+// session state.
+type SessionDeltasResponse struct {
+	Applied []scenario.AppliedDelta `json:"applied"`
+	Session SessionJSON             `json:"session"`
+}
+
+func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
+	e := s.lookupSession(w, r.PathValue("id"))
+	if e == nil {
+		return
+	}
+	var req SessionDeltasRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Commands) == 0 {
+		writeError(w, http.StatusBadRequest, "bad-request", "no delta commands")
+		return
+	}
+	var seqs []int
+	for i, cmd := range req.Commands {
+		seq, err := e.sess.ApplyText(cmd)
+		if err != nil {
+			// Atomic: roll back what this request already applied.
+			for _, u := range seqs {
+				_ = e.sess.Undo(u)
+			}
+			writeErrorDetails(w, http.StatusUnprocessableEntity, "bad-request", err.Error(),
+				map[string]string{"command": cmd, "index": strconv.Itoa(i)})
+			return
+		}
+		seqs = append(seqs, seq)
+	}
+	all := e.sess.Deltas()
+	applied := make([]scenario.AppliedDelta, 0, len(seqs))
+	for _, ad := range all {
+		for _, seq := range seqs {
+			if ad.Seq == seq {
+				applied = append(applied, ad)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, SessionDeltasResponse{
+		Applied: applied,
+		Session: sessionJSON(e, false),
+	})
+}
+
+func (s *Server) handleSessionUndo(w http.ResponseWriter, r *http.Request) {
+	e := s.lookupSession(w, r.PathValue("id"))
+	if e == nil {
+		return
+	}
+	seq, err := strconv.Atoi(r.PathValue("seq"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "bad delta sequence number "+r.PathValue("seq"))
+		return
+	}
+	if err := e.sess.Undo(seq); err != nil {
+		writeErrorDetails(w, http.StatusNotFound, "not-found", err.Error(),
+			map[string]string{"seq": strconv.Itoa(seq)})
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionJSON(e, false))
+}
+
+func (s *Server) handleSessionVerify(w http.ResponseWriter, r *http.Request) {
+	e := s.lookupSession(w, r.PathValue("id"))
+	if e == nil {
+		return
+	}
+	var req VerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "bad-request", "empty query")
+		return
+	}
+	overlay := e.sess.Overlay()
+	opts, ok := s.engineOptions(w, overlay, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
+	if !ok {
+		return
+	}
+	res, err := e.sess.Verify(r.Context(), req.Query, opts)
+	if err != nil {
+		writeVerifyError(w, err, res.Stats)
+		return
+	}
+	writeJSON(w, http.StatusOK, cli.ToJSON(overlay, req.Query, res))
+}
+
+func (s *Server) handleSessionVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	e := s.lookupSession(w, r.PathValue("id"))
+	if e == nil {
+		return
+	}
+	var req VerifyBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "bad-request", "no queries")
+		return
+	}
+	overlay := e.sess.Overlay()
+	opts, ok := s.engineOptions(w, overlay, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	results := e.sess.VerifyBatch(r.Context(), req.Queries, batch.Options{
+		Workers: s.clampWorkers(req.Workers),
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Engine:  opts,
+	})
+	writeJSON(w, http.StatusOK, VerifyBatchResponse{
+		Results:   cli.BatchToJSON(overlay, results),
 		ElapsedMS: time.Since(start).Seconds() * 1000,
 	})
 }
@@ -323,32 +712,6 @@ func (s *Server) lookup(name string) (*network.Network, *batch.Runner) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.networks[name], s.runners[name]
-}
-
-type errorJSON struct {
-	Error string `json:"error"`
-	// Code is the machine-readable classification (cli.ErrorCode).
-	Code string `json:"code,omitempty"`
-	// TimingMS and Sizes carry the partial stats of a failed run (what the
-	// engine completed before the budget or deadline hit), when available.
-	TimingMS *cli.Timings `json:"timingMs,omitempty"`
-	Sizes    *cli.Sizes   `json:"sizes,omitempty"`
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorJSON{Error: msg})
-}
-
-// writeVerifyError writes a verification failure with its machine-readable
-// code and the partial stats of the aborted run.
-func writeVerifyError(w http.ResponseWriter, err error, st engine.Stats) {
-	t, sz := cli.TimingsOf(st), cli.SizesOf(st)
-	writeJSON(w, errStatus(err), errorJSON{
-		Error:    err.Error(),
-		Code:     cli.ErrorCode(err),
-		TimingMS: &t,
-		Sizes:    &sz,
-	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -3,6 +3,8 @@ package httpapi_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -38,11 +40,14 @@ func TestHealthz(t *testing.T) {
 
 func TestListNetworks(t *testing.T) {
 	ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/api/networks")
+	resp, err := http.Get(ts.URL + "/api/v1/networks")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if d := resp.Header.Get("Deprecation"); d != "" {
+		t.Errorf("v1 route carries Deprecation header %q", d)
+	}
 	var infos []httpapi.NetworkInfo
 	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
 		t.Fatal(err)
@@ -60,9 +65,83 @@ func TestListNetworks(t *testing.T) {
 	}
 }
 
+// TestDeprecatedAliases checks the legacy unversioned routes still serve
+// the same payloads while flagging their deprecation and successor.
+func TestDeprecatedAliases(t *testing.T) {
+	ts := newTestServer(t)
+	for _, alias := range []struct{ old, successor string }{
+		{"/api/networks", "/api/v1/networks"},
+		{"/api/networks/running-example/topology", "/api/v1/networks/{name}/topology"},
+	} {
+		resp, err := http.Get(ts.URL + alias.old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d", alias.old, resp.StatusCode)
+		}
+		if d := resp.Header.Get("Deprecation"); d != "true" {
+			t.Errorf("%s: Deprecation = %q, want true", alias.old, d)
+		}
+		if l := resp.Header.Get("Link"); !strings.Contains(l, alias.successor) ||
+			!strings.Contains(l, "successor-version") {
+			t.Errorf("%s: Link = %q, want successor %s", alias.old, l, alias.successor)
+		}
+		newResp, err := http.Get(ts.URL + strings.Replace(alias.old, "/api/", "/api/v1/", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		newBody, _ := io.ReadAll(newResp.Body)
+		newResp.Body.Close()
+		if !bytes.Equal(oldBody, newBody) {
+			t.Errorf("%s: alias payload differs from versioned route", alias.old)
+		}
+	}
+	// POST aliases too.
+	body, _ := json.Marshal(httpapi.VerifyRequest{
+		Network: "running-example", Query: "<ip> [.#v0] .* [v3#.] <ip> 0",
+	})
+	resp, err := http.Post(ts.URL+"/api/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") != "true" {
+		t.Errorf("POST /api/verify: status=%d Deprecation=%q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+}
+
+// decodeEnvelope asserts a non-2xx response carries the single error
+// envelope: a non-empty machine-readable code and a message, and no legacy
+// top-level "error" key.
+func decodeEnvelope(t *testing.T, resp *http.Response) httpapi.ErrorEnvelope {
+	t.Helper()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, raw)
+	}
+	if _, ok := generic["error"]; ok {
+		t.Errorf("error body still has legacy top-level \"error\" key: %s", raw)
+	}
+	var env httpapi.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("error body does not match envelope: %v\n%s", err, raw)
+	}
+	if env.Code == "" || env.Message == "" {
+		t.Errorf("envelope missing code/message: %s", raw)
+	}
+	return env
+}
+
 func TestTopology(t *testing.T) {
 	ts := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/api/networks/running-example/topology")
+	resp, err := http.Get(ts.URL + "/api/v1/networks/running-example/topology")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,8 +153,8 @@ func TestTopology(t *testing.T) {
 	if len(topo.Routers) != 7 || len(topo.Links) != 8 {
 		t.Fatalf("topology: %d routers %d links", len(topo.Routers), len(topo.Links))
 	}
-	// Unknown network → 404 JSON error.
-	resp2, err := http.Get(ts.URL + "/api/networks/ghost/topology")
+	// Unknown network → 404 error envelope with a details pointer.
+	resp2, err := http.Get(ts.URL + "/api/v1/networks/ghost/topology")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,12 +162,16 @@ func TestTopology(t *testing.T) {
 	if resp2.StatusCode != http.StatusNotFound {
 		t.Fatalf("status = %d, want 404", resp2.StatusCode)
 	}
+	env := decodeEnvelope(t, resp2)
+	if env.Code != "not-found" || env.Details["network"] != "ghost" {
+		t.Errorf("envelope = %+v, want not-found with details.network=ghost", env)
+	}
 }
 
 func postVerify(t *testing.T, ts *httptest.Server, req httpapi.VerifyRequest) (*http.Response, cli.ResultJSON) {
 	t.Helper()
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(ts.URL+"/api/verify", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+"/api/v1/verify", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,28 +231,36 @@ func TestVerifyErrors(t *testing.T) {
 	cases := []struct {
 		req    httpapi.VerifyRequest
 		status int
+		code   string
 	}{
-		{httpapi.VerifyRequest{Network: "ghost", Query: "<ip> .* <ip> 0"}, http.StatusNotFound},
-		{httpapi.VerifyRequest{Network: "running-example"}, http.StatusBadRequest},
-		{httpapi.VerifyRequest{Network: "running-example", Query: "<bogus> .* <ip> 0"}, http.StatusUnprocessableEntity},
-		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Weight: "frobs"}, http.StatusBadRequest},
-		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Engine: "z3"}, http.StatusBadRequest},
-		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Engine: "moped", Weight: "Hops"}, http.StatusBadRequest},
+		{httpapi.VerifyRequest{Network: "ghost", Query: "<ip> .* <ip> 0"}, http.StatusNotFound, "not-found"},
+		{httpapi.VerifyRequest{Network: "running-example"}, http.StatusBadRequest, "bad-request"},
+		{httpapi.VerifyRequest{Network: "running-example", Query: "<bogus> .* <ip> 0"}, http.StatusUnprocessableEntity, "query-error"},
+		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Weight: "frobs"}, http.StatusBadRequest, "bad-request"},
+		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Engine: "z3"}, http.StatusBadRequest, "bad-request"},
+		{httpapi.VerifyRequest{Network: "running-example", Query: "<ip> .* <ip> 0", Engine: "moped", Weight: "Hops"}, http.StatusBadRequest, "bad-request"},
 	}
 	for i, c := range cases {
 		resp, _ := postVerify(t, ts, c.req)
 		if resp.StatusCode != c.status {
 			t.Errorf("case %d: status = %d, want %d", i, resp.StatusCode, c.status)
+			continue
+		}
+		if env := decodeEnvelope(t, resp); env.Code != c.code {
+			t.Errorf("case %d: code = %q, want %q", i, env.Code, c.code)
 		}
 	}
 	// Malformed JSON body.
-	resp, err := http.Post(ts.URL+"/api/verify", "application/json", strings.NewReader("{"))
+	resp, err := http.Post(ts.URL+"/api/v1/verify", "application/json", strings.NewReader("{"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed body: status = %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp); env.Code != "bad-request" {
+		t.Errorf("malformed body: code = %q, want bad-request", env.Code)
 	}
 }
 
@@ -184,7 +275,7 @@ func TestVerifyBudgetCap(t *testing.T) {
 		Query:   "<ip> [.#v0] .* [v3#.] <ip> 0",
 		Budget:  1_000_000, // request may not raise the cap
 	})
-	resp, err := http.Post(ts.URL+"/api/verify", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+"/api/v1/verify", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,24 +283,17 @@ func TestVerifyBudgetCap(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504", resp.StatusCode)
 	}
-	var e struct {
-		Error    string       `json:"error"`
-		Code     string       `json:"code"`
-		TimingMS *cli.Timings `json:"timingMs"`
-		Sizes    *cli.Sizes   `json:"sizes"`
+	env := decodeEnvelope(t, resp)
+	if env.Code != "budget-exhausted" {
+		t.Errorf("code = %q, want budget-exhausted", env.Code)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
-		t.Fatal(err)
+	// Partial stats: the build phase completed before saturation gave up,
+	// so the envelope's stats block carries the rule counts.
+	if env.Stats == nil {
+		t.Fatal("error envelope missing partial stats")
 	}
-	if e.Code != "budget-exhausted" {
-		t.Errorf("code = %q, want budget-exhausted", e.Code)
-	}
-	// Partial stats: the build phase completed before saturation gave up.
-	if e.TimingMS == nil || e.Sizes == nil {
-		t.Fatal("error body missing partial stats")
-	}
-	if e.Sizes.OverRules == 0 {
-		t.Errorf("partial stats lost the rule count: %+v", e.Sizes)
+	if env.Stats.Sizes.OverRules == 0 {
+		t.Errorf("partial stats lost the rule count: %+v", env.Stats.Sizes)
 	}
 }
 
@@ -291,7 +375,7 @@ func TestMetricsEndpoint(t *testing.T) {
 func postBatch(t *testing.T, ts *httptest.Server, req httpapi.VerifyBatchRequest) (*http.Response, httpapi.VerifyBatchResponse) {
 	t.Helper()
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(ts.URL+"/api/verify-batch", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+"/api/v1/verify-batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +473,7 @@ func TestConcurrentBatch(t *testing.T) {
 			body, _ := json.Marshal(httpapi.VerifyBatchRequest{
 				Network: "running-example", Queries: queries, Workers: 8,
 			})
-			resp, err := http.Post(ts.URL+"/api/verify-batch", "application/json", bytes.NewReader(body))
+			resp, err := http.Post(ts.URL+"/api/v1/verify-batch", "application/json", bytes.NewReader(body))
 			if err != nil {
 				t.Error(err)
 				return
@@ -432,7 +516,7 @@ func TestConcurrentVerify(t *testing.T) {
 				Network: "running-example",
 				Query:   "<ip> [.#v0] .* [v3#.] <ip> 0",
 			})
-			resp, err := http.Post(ts.URL+"/api/verify", "application/json", bytes.NewReader(body))
+			resp, err := http.Post(ts.URL+"/api/v1/verify", "application/json", bytes.NewReader(body))
 			if err != nil {
 				errs <- err.Error()
 				return
@@ -447,5 +531,300 @@ func TestConcurrentVerify(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Error(e)
+	}
+}
+
+// --- scenario session routes ---
+
+func doJSON(t *testing.T, method, url string, body any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSessionLifecycle drives one session through create → verify →
+// mutate → verify → undo → verify → close, checking that the empty-stack
+// session agrees with the plain verify route and that undo restores the
+// original fingerprint and verdict.
+func TestSessionLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	const queryText = "<ip> [.#v0] .* [v3#.] <ip> 0"
+
+	resp := doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+		httpapi.SessionCreateRequest{Network: "running-example"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status = %d, want 201", resp.StatusCode)
+	}
+	sj := decodeBody[httpapi.SessionJSON](t, resp)
+	if sj.ID != "s1" || sj.Network != "running-example" {
+		t.Fatalf("session = %+v", sj)
+	}
+	if len(sj.Fingerprint) != 16 {
+		t.Fatalf("fingerprint = %q, want 16 hex digits", sj.Fingerprint)
+	}
+	if sj.Deltas == nil || len(sj.Deltas) != 0 {
+		t.Fatalf("deltas = %#v, want empty slice", sj.Deltas)
+	}
+	baseFP := sj.Fingerprint
+	sessURL := ts.URL + "/api/v1/sessions/" + sj.ID
+
+	// List includes the session.
+	listResp := doJSON(t, http.MethodGet, ts.URL+"/api/v1/sessions", nil)
+	if got := decodeBody[[]httpapi.SessionJSON](t, listResp); len(got) != 1 || got[0].ID != "s1" {
+		t.Fatalf("list = %+v", got)
+	}
+
+	// Empty-stack session verify agrees with the plain route.
+	_, plain := postVerify(t, ts, httpapi.VerifyRequest{
+		Network: "running-example", Query: queryText,
+	})
+	vresp := doJSON(t, http.MethodPost, sessURL+"/verify",
+		httpapi.VerifyRequest{Query: queryText})
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatalf("session verify: status = %d", vresp.StatusCode)
+	}
+	base := decodeBody[cli.ResultJSON](t, vresp)
+	if base.Verdict != plain.Verdict || len(base.Trace) != len(plain.Trace) {
+		t.Fatalf("empty-stack session verdict %q (trace %d) differs from plain %q (trace %d)",
+			base.Verdict, len(base.Trace), plain.Verdict, len(plain.Trace))
+	}
+
+	// Apply a link failure.
+	dresp := doJSON(t, http.MethodPost, sessURL+"/deltas",
+		httpapi.SessionDeltasRequest{Commands: []string{"fail v2.oe4#v3.ie4"}})
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("deltas: status = %d", dresp.StatusCode)
+	}
+	dout := decodeBody[httpapi.SessionDeltasResponse](t, dresp)
+	if len(dout.Applied) != 1 || dout.Applied[0].Seq != 1 ||
+		dout.Applied[0].Canon != "fail v2.oe4#v3.ie4" {
+		t.Fatalf("applied = %+v", dout.Applied)
+	}
+	if dout.Session.Fingerprint == baseFP {
+		t.Error("fingerprint unchanged after delta")
+	}
+
+	vresp2 := doJSON(t, http.MethodPost, sessURL+"/verify",
+		httpapi.VerifyRequest{Query: queryText})
+	if vresp2.StatusCode != http.StatusOK {
+		t.Fatalf("session verify after delta: status = %d", vresp2.StatusCode)
+	}
+	decodeBody[cli.ResultJSON](t, vresp2)
+
+	// Cache stats are exposed on GET after verifying.
+	gresp := doJSON(t, http.MethodGet, sessURL, nil)
+	gj := decodeBody[httpapi.SessionJSON](t, gresp)
+	if gj.Cache == nil || gj.Cache.Gets == 0 {
+		t.Fatalf("session get: cache stats = %+v, want non-zero gets", gj.Cache)
+	}
+	if len(gj.Deltas) != 1 {
+		t.Fatalf("session get: deltas = %+v", gj.Deltas)
+	}
+
+	// Undo restores the base fingerprint and verdict.
+	uresp := doJSON(t, http.MethodDelete, sessURL+"/deltas/1", nil)
+	if uresp.StatusCode != http.StatusOK {
+		t.Fatalf("undo: status = %d", uresp.StatusCode)
+	}
+	uj := decodeBody[httpapi.SessionJSON](t, uresp)
+	if uj.Fingerprint != baseFP || len(uj.Deltas) != 0 {
+		t.Fatalf("undo: session = %+v, want fingerprint %s and no deltas", uj, baseFP)
+	}
+	vresp3 := doJSON(t, http.MethodPost, sessURL+"/verify",
+		httpapi.VerifyRequest{Query: queryText})
+	redo := decodeBody[cli.ResultJSON](t, vresp3)
+	if redo.Verdict != base.Verdict {
+		t.Errorf("verdict after undo = %q, want %q", redo.Verdict, base.Verdict)
+	}
+
+	// Batch verification against the overlay.
+	bresp := doJSON(t, http.MethodPost, sessURL+"/verify-batch",
+		httpapi.VerifyBatchRequest{Queries: []string{queryText, queryText}})
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("session batch: status = %d", bresp.StatusCode)
+	}
+	bout := decodeBody[httpapi.VerifyBatchResponse](t, bresp)
+	if len(bout.Results) != 2 || bout.Results[0].Verdict != base.Verdict {
+		t.Fatalf("session batch results = %+v", bout.Results)
+	}
+
+	// Close, then the id is gone.
+	cresp := doJSON(t, http.MethodDelete, sessURL, nil)
+	if cresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("close: status = %d, want 204", cresp.StatusCode)
+	}
+	goneResp := doJSON(t, http.MethodGet, sessURL, nil)
+	if goneResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after close: status = %d, want 404", goneResp.StatusCode)
+	}
+	env := decodeEnvelope(t, goneResp)
+	if env.Code != "not-found" || env.Details["session"] != "s1" {
+		t.Errorf("envelope = %+v, want not-found with details.session=s1", env)
+	}
+}
+
+// TestSessionErrors covers the error envelope on every session route,
+// including atomic rollback of partially-applied delta batches.
+func TestSessionErrors(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Unknown network on create.
+	resp := doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+		httpapi.SessionCreateRequest{Network: "ghost"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("create ghost: status = %d", resp.StatusCode)
+	}
+	decodeEnvelope(t, resp)
+
+	// Bad initial delta: creation fails atomically, no session leaks.
+	resp = doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+		httpapi.SessionCreateRequest{
+			Network: "running-example",
+			Deltas:  []string{"fail no-such-link"},
+		})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("create with bad delta: status = %d, want 422", resp.StatusCode)
+	}
+	env := decodeEnvelope(t, resp)
+	if env.Details["command"] != "fail no-such-link" {
+		t.Errorf("details = %+v, want the offending command", env.Details)
+	}
+	listResp := doJSON(t, http.MethodGet, ts.URL+"/api/v1/sessions", nil)
+	if got := decodeBody[[]httpapi.SessionJSON](t, listResp); len(got) != 0 {
+		t.Fatalf("failed create leaked sessions: %+v", got)
+	}
+
+	// Working session for route-level errors.
+	resp = doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+		httpapi.SessionCreateRequest{Network: "running-example"})
+	sj := decodeBody[httpapi.SessionJSON](t, resp)
+	sessURL := ts.URL + "/api/v1/sessions/" + sj.ID
+
+	// Partially-bad delta batch rolls back entirely.
+	dresp := doJSON(t, http.MethodPost, sessURL+"/deltas",
+		httpapi.SessionDeltasRequest{Commands: []string{
+			"fail v2.oe4#v3.ie4", // valid
+			"drain nowhere",      // invalid router
+		}})
+	if dresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("mixed deltas: status = %d, want 422", dresp.StatusCode)
+	}
+	env = decodeEnvelope(t, dresp)
+	if env.Details["command"] != "drain nowhere" || env.Details["index"] != "1" {
+		t.Errorf("details = %+v, want offending command at index 1", env.Details)
+	}
+	gj := decodeBody[httpapi.SessionJSON](t, doJSON(t, http.MethodGet, sessURL, nil))
+	if len(gj.Deltas) != 0 {
+		t.Fatalf("rollback failed, deltas = %+v", gj.Deltas)
+	}
+
+	// Undo of an unknown seq.
+	uresp := doJSON(t, http.MethodDelete, sessURL+"/deltas/99", nil)
+	if uresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("undo 99: status = %d, want 404", uresp.StatusCode)
+	}
+	if env := decodeEnvelope(t, uresp); env.Details["seq"] != "99" {
+		t.Errorf("details = %+v, want seq 99", env.Details)
+	}
+
+	// Non-numeric seq.
+	uresp = doJSON(t, http.MethodDelete, sessURL+"/deltas/frog", nil)
+	if uresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("undo frog: status = %d, want 400", uresp.StatusCode)
+	}
+	decodeEnvelope(t, uresp)
+
+	// Verify with a missing query.
+	vresp := doJSON(t, http.MethodPost, sessURL+"/verify",
+		httpapi.VerifyRequest{})
+	if vresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty query: status = %d, want 400", vresp.StatusCode)
+	}
+	decodeEnvelope(t, vresp)
+
+	// Verify with a malformed query.
+	vresp = doJSON(t, http.MethodPost, sessURL+"/verify",
+		httpapi.VerifyRequest{Query: "<bogus> .* <ip> 0"})
+	if vresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad query: status = %d, want 422", vresp.StatusCode)
+	}
+	if env := decodeEnvelope(t, vresp); env.Code != "query-error" {
+		t.Errorf("code = %q, want query-error", env.Code)
+	}
+
+	// Routes on an unknown session id.
+	for _, probe := range []struct{ method, url string }{
+		{http.MethodGet, ts.URL + "/api/v1/sessions/s999"},
+		{http.MethodDelete, ts.URL + "/api/v1/sessions/s999"},
+		{http.MethodPost, ts.URL + "/api/v1/sessions/s999/verify"},
+	} {
+		resp := doJSON(t, probe.method, probe.url, httpapi.VerifyRequest{Query: "x"})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status = %d, want 404", probe.method, probe.url, resp.StatusCode)
+			continue
+		}
+		decodeEnvelope(t, resp)
+	}
+}
+
+// TestSessionLimit checks the MaxSessions guard returns 429 with the
+// envelope rather than creating unbounded sessions.
+func TestSessionLimit(t *testing.T) {
+	s := httpapi.NewServer()
+	s.Register(gen.RunningExample().Network)
+	s.MaxSessions = 2
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		resp := doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+			httpapi.SessionCreateRequest{Network: "running-example"})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d: status = %d", i, resp.StatusCode)
+		}
+	}
+	resp := doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+		httpapi.SessionCreateRequest{Network: "running-example"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over limit: status = %d, want 429", resp.StatusCode)
+	}
+	decodeEnvelope(t, resp)
+	// Closing one frees a slot.
+	cresp := doJSON(t, http.MethodDelete, ts.URL+"/api/v1/sessions/s1", nil)
+	if cresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("close: status = %d", cresp.StatusCode)
+	}
+	resp = doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+		httpapi.SessionCreateRequest{Network: "running-example"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create after close: status = %d, want 201", resp.StatusCode)
+	}
+	if sj := decodeBody[httpapi.SessionJSON](t, resp); sj.ID != fmt.Sprintf("s%d", 3) {
+		t.Errorf("id = %q, want s3 (closed ids are never reused)", sj.ID)
 	}
 }

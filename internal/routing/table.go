@@ -103,6 +103,23 @@ func (t *Table) MustAdd(in topology.LinkID, top labels.ID, priority int, e Entry
 	}
 }
 
+// SetGroups installs a complete group sequence for (in, top), replacing
+// any existing one; empty gs removes the key. Scenario overlays use this
+// to install filtered views of a base table. Callers must not pass
+// trailing empty groups: Add never creates them, and keeping the invariant
+// makes an overlay table indistinguishable from one built from scratch.
+func (t *Table) SetGroups(in topology.LinkID, top labels.ID, gs Groups) {
+	if t.entries == nil {
+		t.entries = make(map[tableKey]Groups)
+	}
+	k := tableKey{in, top}
+	if len(gs) == 0 {
+		delete(t.entries, k)
+		return
+	}
+	t.entries[k] = gs
+}
+
 // Lookup returns τ(in, top), or nil when the router drops such packets.
 func (t *Table) Lookup(in topology.LinkID, top labels.ID) Groups {
 	return t.entries[tableKey{in, top}]

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/query"
+)
+
+// FuzzScenarioDeltas feeds arbitrary scenario files into a session on the
+// running example. Parsed, appliable delta stacks must (a) materialize an
+// overlay structurally identical to the from-scratch deep copy, (b) yield
+// reproducible fingerprints when replayed onto a second session, and (c)
+// verify byte-identically to a from-scratch build of the materialized
+// network — the tentpole's differential soundness property under
+// adversarial delta stacks.
+func FuzzScenarioDeltas(f *testing.F) {
+	f.Add("fail v2.oe4#v3.ie4")
+	f.Add("drain v2\nfail v0.oe2#v1.ie2")
+	f.Add("# comment\n\nfail v2.oe5#v4.ie5\nrestore v2.oe5#v4.ie5")
+	f.Add("swap-priority v0.oe1#v2.ie1 s40 1 2")
+	f.Add("add-entry v0.oe1#v2.ie1 s40 1 v2.oe5#v4.ie5 swap(s43);push(30)")
+	f.Add("remove-entry v0.oe1#v2.ie1 s40 1 v2.oe4#v3.ie4\ndrain v4\nundrain v4")
+
+	const queryText = "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 1"
+
+	f.Fuzz(func(t *testing.T, text string) {
+		deltas, err := ParseScenario(text)
+		if err != nil || len(deltas) == 0 || len(deltas) > 6 {
+			return
+		}
+		re := gen.RunningExample()
+		s := NewSession(re.Network)
+		defer s.Close()
+		applied := 0
+		for _, d := range deltas {
+			if _, err := s.Apply(d); err == nil {
+				applied++
+			}
+		}
+		if applied == 0 {
+			return
+		}
+
+		// Replay determinism: the same accepted stack on a fresh session
+		// reaches the same fingerprint.
+		s2 := NewSession(re.Network)
+		for _, ad := range s.Deltas() {
+			if _, err := s2.Apply(ad.Delta); err != nil {
+				t.Fatalf("replaying accepted delta %q failed: %v", ad.Canon, err)
+			}
+		}
+		if s.Fingerprint() != s2.Fingerprint() {
+			t.Fatalf("fingerprint not reproducible: %x vs %x", s.Fingerprint(), s2.Fingerprint())
+		}
+		s2.Close()
+
+		// Overlay content must match the deep-copied materialization.
+		overlay, fresh := s.Overlay(), s.MaterializeFresh()
+		ko, kf := overlay.Routing.Keys(), fresh.Routing.Keys()
+		if !reflect.DeepEqual(ko, kf) {
+			t.Fatalf("overlay/fresh key sets differ: %v vs %v", ko, kf)
+		}
+		for _, k := range ko {
+			if !reflect.DeepEqual(overlay.Routing.Lookup(k.In, k.Top), fresh.Routing.Lookup(k.In, k.Top)) {
+				t.Fatalf("key %v: overlay and fresh groups differ", k)
+			}
+		}
+
+		// Differential verification through the incremental cache.
+		q, err := query.Parse(queryText, fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gerr := s.Verify(context.Background(), queryText, engine.Options{})
+		want, werr := engine.Verify(fresh, q, engine.Options{})
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("error mismatch: %v vs %v", gerr, werr)
+		}
+		if gerr == nil {
+			if got.Verdict != want.Verdict ||
+				!reflect.DeepEqual(got.Trace, want.Trace) ||
+				!reflect.DeepEqual(got.Failed, want.Failed) {
+				t.Fatalf("differential mismatch:\n  got  %v %v %v\n  want %v %v %v",
+					got.Verdict, got.Trace, got.Failed, want.Verdict, want.Trace, want.Failed)
+			}
+		}
+	})
+}

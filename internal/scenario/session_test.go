@@ -1,0 +1,334 @@
+package scenario
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/obs"
+	"aalwines/internal/query"
+	"aalwines/internal/topology"
+)
+
+func TestParseDeltaRoundTrip(t *testing.T) {
+	cmds := []string{
+		"fail v0.oe1#v2.ie1",
+		"restore v0.oe1#v2.ie1",
+		"drain v2",
+		"undrain v2",
+		"add-entry v0.oe1#v2.ie1 s40 2 v2.oe5#v4.ie5 swap(s43);push(30)",
+		"add-entry v0.oe1#v2.ie1 s40 1 v2.oe4#v3.ie4",
+		"remove-entry v0.oe1#v2.ie1 s40 2 v2.oe5#v4.ie5",
+		"swap-priority v0.oe1#v2.ie1 s40 1 2",
+	}
+	for _, cmd := range cmds {
+		d, err := ParseDelta(cmd)
+		if err != nil {
+			t.Fatalf("ParseDelta(%q): %v", cmd, err)
+		}
+		if d.Canon() != cmd {
+			t.Errorf("Canon round trip: %q -> %q", cmd, d.Canon())
+		}
+		d2, err := ParseDelta(d.Canon())
+		if err != nil || d2 != d {
+			t.Errorf("reparse of %q: %+v err %v", cmd, d2, err)
+		}
+	}
+	for _, bad := range []string{
+		"", "explode v0", "fail", "add-entry a b c",
+		"add-entry a b 0 c", "add-entry a b 1 c frobnicate(x)",
+		"swap-priority a b 1 x",
+	} {
+		if _, err := ParseDelta(bad); err == nil {
+			t.Errorf("ParseDelta(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestApplyValidates(t *testing.T) {
+	re := gen.RunningExample()
+	s := NewSession(re.Network)
+	defer s.Close()
+	for _, bad := range []string{
+		"fail nosuch#link",
+		"drain nowhere",
+		"add-entry v0.oe1#v2.ie1 nolabel 1 v2.oe4#v3.ie4",
+		"add-entry v0.oe1#v2.ie1 s40 1 v2.oe4#v3.ie4 swap(nolabel)",
+		"swap-priority v0.oe1#v2.ie1 s40 2 2",
+	} {
+		if _, err := s.ApplyText(bad); err == nil {
+			t.Errorf("ApplyText(%q) succeeded, want error", bad)
+		}
+	}
+	if len(s.Deltas()) != 0 {
+		t.Fatal("failed applies must not land on the stack")
+	}
+	seq, err := s.ApplyText("fail v2.oe4#v3.ie4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Deltas(); len(got) != 1 || got[0].Seq != seq {
+		t.Fatalf("stack = %+v", got)
+	}
+	if err := s.Undo(seq + 99); err == nil {
+		t.Error("Undo of unknown seq succeeded")
+	}
+	if err := s.Undo(seq); err != nil {
+		t.Fatal(err)
+	}
+	if s.Overlay() != re.Network {
+		t.Error("empty stack must serve the base network itself")
+	}
+}
+
+// sameVerify asserts two engine results are byte-identical in everything
+// the verdict contract covers: verdict, witness trace, failed set, weight.
+func sameVerify(t *testing.T, ctx string, got, want engine.Result) {
+	t.Helper()
+	if got.Verdict != want.Verdict {
+		t.Errorf("%s: verdict %v, want %v", ctx, got.Verdict, want.Verdict)
+		return
+	}
+	if !reflect.DeepEqual(got.Trace, want.Trace) {
+		t.Errorf("%s: traces differ:\n  got  %v\n  want %v", ctx, got.Trace, want.Trace)
+	}
+	if !reflect.DeepEqual(got.Failed, want.Failed) {
+		t.Errorf("%s: failed sets differ: got %v want %v", ctx, got.Failed, want.Failed)
+	}
+	if !reflect.DeepEqual(got.Weight, want.Weight) {
+		t.Errorf("%s: weights differ: got %v want %v", ctx, got.Weight, want.Weight)
+	}
+}
+
+// checkDifferential verifies each query through the session and against a
+// from-scratch build of the materialized network, early-accept both on and
+// off, and requires byte-identical results.
+func checkDifferential(t *testing.T, s *Session, queries []string) {
+	t.Helper()
+	fresh := s.MaterializeFresh()
+	for _, qt := range queries {
+		q, err := query.Parse(qt, fresh)
+		if err != nil {
+			t.Fatalf("parse %q: %v", qt, err)
+		}
+		for _, noEarly := range []bool{false, true} {
+			opts := engine.Options{NoEarlyAccept: noEarly}
+			got, gerr := s.Verify(context.Background(), qt, opts)
+			want, werr := engine.Verify(fresh, q, opts)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("%q noEarly=%v: err %v vs %v", qt, noEarly, gerr, werr)
+			}
+			if gerr != nil {
+				continue
+			}
+			sameVerify(t, qt, got, want)
+		}
+	}
+}
+
+func TestSessionDifferentialRunningExample(t *testing.T) {
+	re := gen.RunningExample()
+	queries := []string{
+		"<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0",
+		"<s40 ip> [.#v0] .* [v3#.] <smpls ip> 1",
+		"<s40 ip> [.#v0] .* [v3#.] <smpls ip> 2",
+		"<ip> [.#v0] .* [v3#.] <ip> 1",
+	}
+	stacks := [][]string{
+		{},
+		{"fail v2.oe4#v3.ie4"},
+		{"fail v2.oe4#v3.ie4", "fail v2.oe5#v4.ie5"},
+		{"drain v2"},
+		{"drain v4", "undrain v4"},
+		{"fail v0.oe2#v1.ie2", "restore v0.oe2#v1.ie2"},
+		{"swap-priority v0.oe1#v2.ie1 s40 1 2"},
+		{"remove-entry v0.oe1#v2.ie1 s40 1 v2.oe4#v3.ie4"},
+		{"add-entry v0.oe1#v2.ie1 s40 1 v2.oe5#v4.ie5 swap(s43);push(30)"},
+		{"fail v2.oe4#v3.ie4", "drain v1"},
+	}
+	for _, stack := range stacks {
+		s := NewSession(re.Network)
+		for _, cmd := range stack {
+			if _, err := s.ApplyText(cmd); err != nil {
+				t.Fatalf("apply %q: %v", cmd, err)
+			}
+		}
+		checkDifferential(t, s, queries)
+		// And after undoing the newest delta, if any.
+		if ds := s.Deltas(); len(ds) > 0 {
+			if err := s.Undo(ds[len(ds)-1].Seq); err != nil {
+				t.Fatal(err)
+			}
+			checkDifferential(t, s, queries[:2])
+		}
+		s.Close()
+	}
+}
+
+// TestSessionDifferentialRandomStacks drives randomly generated delta
+// stacks over a synthesised zoo network and holds the same differential
+// bar.
+func TestSessionDifferentialRandomStacks(t *testing.T) {
+	syn := gen.Zoo(gen.ZooOpts{Routers: 12, Seed: 3, Protection: true})
+	var queries []string
+	for _, gq := range syn.Queries(4, 3) {
+		queries = append(queries, gq.Text)
+	}
+	g := syn.Net.Topo
+	rng := rand.New(rand.NewSource(11))
+	randLink := func() string {
+		return g.LinkName(topology.LinkID(rng.Intn(g.NumLinks())))
+	}
+	randRouter := func() string {
+		return g.Routers[rng.Intn(g.NumRouters())].Name
+	}
+	for trial := 0; trial < 8; trial++ {
+		s := NewSession(syn.Net)
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			var cmd string
+			switch rng.Intn(4) {
+			case 0, 1:
+				cmd = "fail " + randLink()
+			case 2:
+				cmd = "drain " + randRouter()
+			default:
+				cmd = "restore " + randLink()
+			}
+			if _, err := s.ApplyText(cmd); err != nil {
+				t.Fatalf("apply %q: %v", cmd, err)
+			}
+		}
+		checkDifferential(t, s, queries)
+		s.Close()
+	}
+}
+
+// TestCacheInvalidationUnderMutation is the satellite coverage: a delta
+// touching router R rebuilds exactly the rule blocks of the touched
+// routers (asserted through the scenario obs counters), and undo restores
+// the prior hit rate — repeat verifies are pure assembled-system hits and
+// the rebuild counter stays flat.
+func TestCacheInvalidationUnderMutation(t *testing.T) {
+	re := gen.RunningExample()
+	qt := "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0"
+	ctx := context.Background()
+
+	cReused := obs.GetCounter("scenario_rule_blocks_reused_total")
+	cRebuilt := obs.GetCounter("scenario_rule_blocks_rebuilt_total")
+	cHits := obs.GetCounter("scenario_overlay_cache_hits_total")
+
+	s := NewSession(re.Network)
+	defer s.Close()
+
+	run := func() engine.Result {
+		t.Helper()
+		res, err := s.Verify(ctx, qt, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.UnderUsed {
+			t.Fatal("test query must be decided by the over-approximation alone")
+		}
+		return res
+	}
+
+	// Cold: every key's block is rebuilt.
+	nKeys := len(re.Network.Routing.Keys())
+	re0, rb0 := cReused.Value(), cRebuilt.Value()
+	run()
+	if d := cRebuilt.Value() - rb0; d != int64(nKeys) {
+		t.Errorf("cold verify rebuilt %d blocks, want %d", d, nKeys)
+	}
+
+	// Warm repeat: a pure assembled-system hit, no block activity at all.
+	re0, rb0 = cReused.Value(), cRebuilt.Value()
+	h0 := cHits.Value()
+	run()
+	if cRebuilt.Value() != rb0 || cReused.Value() != re0 {
+		t.Error("repeat verify touched rule blocks")
+	}
+	if cHits.Value() != h0+1 {
+		t.Error("repeat verify was not an overlay cache hit")
+	}
+
+	// Delta: fail e4 (v2 -> v3). Touched routers are v2 and v3; exactly the
+	// overlay keys owned by them (keys whose in-link targets v2 or v3) may
+	// be rebuilt, everything else must be spliced from cache.
+	failLink := re.Links["e4"]
+	touched := map[topology.RouterID]bool{
+		re.Network.Topo.Source(failLink): true,
+		re.Network.Topo.Target(failLink): true,
+	}
+	if _, err := s.ApplyText("fail " + re.Network.Topo.LinkName(failLink)); err != nil {
+		t.Fatal(err)
+	}
+	overlay := s.Overlay()
+	dirty := 0
+	for _, k := range overlay.Routing.Keys() {
+		if touched[overlay.Topo.Target(k.In)] {
+			dirty++
+		}
+	}
+	clean := len(overlay.Routing.Keys()) - dirty
+	re0, rb0 = cReused.Value(), cRebuilt.Value()
+	run()
+	if d := cRebuilt.Value() - rb0; d != int64(dirty) {
+		t.Errorf("delta verify rebuilt %d blocks, want exactly the %d dirty keys", d, dirty)
+	}
+	if d := cReused.Value() - re0; d != int64(clean) {
+		t.Errorf("delta verify spliced %d blocks, want the %d untouched keys", d, clean)
+	}
+
+	// Undo: versions revert, so reassembly splices every key from cache —
+	// zero rebuilds — and the next repeat is a pure hit again.
+	if err := s.Undo(s.Deltas()[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	re0, rb0 = cReused.Value(), cRebuilt.Value()
+	run()
+	if d := cRebuilt.Value() - rb0; d != 0 {
+		t.Errorf("post-undo verify rebuilt %d blocks, want 0", d)
+	}
+	if d := cReused.Value() - re0; d != int64(nKeys) {
+		t.Errorf("post-undo verify spliced %d blocks, want all %d", d, nKeys)
+	}
+	h0 = cHits.Value()
+	run()
+	if cHits.Value() != h0+1 {
+		t.Error("post-undo repeat verify was not a pure cache hit")
+	}
+	if s.CacheStats().Hits < 2 {
+		t.Errorf("session cache stats = %+v, want >= 2 hits", s.CacheStats())
+	}
+}
+
+// TestMaterializeFreshIsDeepCopy guards the differential baseline: the
+// fresh copy must not share routing structure with base or overlay.
+func TestMaterializeFreshIsDeepCopy(t *testing.T) {
+	re := gen.RunningExample()
+	s := NewSession(re.Network)
+	defer s.Close()
+	if _, err := s.ApplyText("fail v2.oe4#v3.ie4"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := s.MaterializeFresh()
+	overlay := s.Overlay()
+	if fresh == overlay || fresh.Routing == overlay.Routing {
+		t.Fatal("fresh materialization shares the overlay table")
+	}
+	ok, ob := fresh.Routing.Keys(), overlay.Routing.Keys()
+	if !reflect.DeepEqual(ok, ob) {
+		t.Fatalf("key sets differ: %v vs %v", ok, ob)
+	}
+	for _, k := range ok {
+		fg := fresh.Routing.Lookup(k.In, k.Top)
+		og := overlay.Routing.Lookup(k.In, k.Top)
+		if !reflect.DeepEqual(fg, og) {
+			t.Errorf("key %v: groups differ", k)
+		}
+	}
+}

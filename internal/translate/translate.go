@@ -102,6 +102,13 @@ type builder struct {
 	*System
 	pathNFA *nfa.NFA
 	dedup   map[ruleKey]bool
+
+	// Incremental-build hooks (nil for a plain Build): store caches
+	// relocatable per-key rule blocks, version maps a routing key to the
+	// content version its cached block must match, stats tallies reuse.
+	store   *BlockStore
+	version func(routing.Key) uint64
+	stats   BuildStats
 }
 
 // ruleKey is a comparable projection of a rule (weights excluded: identical
@@ -159,7 +166,6 @@ func (b *builder) construct() {
 	b.Bot = pds.Sym(L)
 	b.baseCnt = net.Topo.NumLinks() * b.numB * b.kBudget
 	b.PDS = pds.New(b.baseCnt, L+1)
-	b.dedup = make(map[ruleKey]bool)
 
 	b.buildRules()
 	b.RulesBeforeReduction = len(b.PDS.Rules)
@@ -214,18 +220,38 @@ type symStack struct {
 }
 
 func (b *builder) buildRules() {
-	net := b.Net
+	for _, key := range b.Net.Routing.Keys() {
+		if b.store != nil {
+			ver := b.version(key)
+			if blk := b.store.get(key, ver); blk != nil {
+				b.splice(blk)
+				b.stats.BlocksReused++
+				continue
+			}
+			b.store.put(key, ver, b.record(key))
+			b.stats.BlocksRebuilt++
+			continue
+		}
+		b.buildKey(key)
+	}
+}
+
+// buildKey emits all rules of one routing-table key. The dedup map is
+// per-key: rules from different keys never collide (tags are globally
+// unique across used entries, and chain states are fresh per chain), so a
+// key-scoped map yields the same rule list as a build-global one while
+// making each key's emission independently cacheable.
+func (b *builder) buildKey(key routing.Key) {
 	k := b.Query.MaxFailures
-	for _, key := range net.Routing.Keys() {
-		gs := net.Routing.Lookup(key.In, key.Top)
-		for j := range gs {
-			mustFail := gs.PrefixLinks(j)
-			if len(mustFail) > k {
-				break // prefixes only grow with j
-			}
-			for _, entry := range gs[j].Entries {
-				b.buildEntry(key.In, key.Top, entry, j, len(mustFail))
-			}
+	b.dedup = make(map[ruleKey]bool)
+	gs := b.Net.Routing.Lookup(key.In, key.Top)
+	for j := range gs {
+		mustFail := gs.PrefixLinks(j)
+		if len(mustFail) > k {
+			break // prefixes only grow with j
+		}
+		for _, entry := range gs[j].Entries {
+			b.buildEntry(key.In, key.Top, entry, j, len(mustFail))
 		}
 	}
 }
