@@ -144,8 +144,20 @@ func VerifyBatch(ctx context.Context, net *Network, queries []string, opts Batch
 type ScenarioSession = scenario.Session
 
 // ScenarioDelta is one reversible what-if mutation; build one with
-// ParseScenarioDelta or scenario file syntax (see ParseScenario).
+// ParseScenarioDelta or scenario file syntax (see ParseScenario). Entry
+// and priority deltas address 1-based priority slots bounded by
+// ScenarioMaxPriority; out-of-range slots fail validation at Apply time.
 type ScenarioDelta = scenario.Delta
+
+// ScenarioMaxPriority caps the priority slot a delta may address, keeping
+// a single routing edit from materialising unbounded priority groups.
+const ScenarioMaxPriority = scenario.MaxPriority
+
+// ScenarioApplyError is the error of a failed atomic delta batch
+// (ScenarioSession.ApplyAll / ApplyAllText): it names the offending
+// delta's position and command, and nothing was applied. Unwrap yields
+// the underlying parse or validation error.
+type ScenarioApplyError = scenario.ApplyError
 
 // NewScenarioSession starts a what-if session on top of base. The base
 // network is never mutated; each applied delta produces a fresh overlay.

@@ -272,4 +272,29 @@ func TestPublicAPIScenarioSession(t *testing.T) {
 	if len(s.Deltas()) != 2 {
 		t.Fatalf("deltas = %d, want 2", len(s.Deltas()))
 	}
+
+	// A directly constructed delta with an unset (zero) or oversized
+	// priority must fail validation, not panic inside materialisation.
+	zero, err := aalwines.ParseScenarioDelta("add-entry v0.oe1#v2.ie1 s40 1 v2.oe4#v3.ie4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero.Priority = 0
+	if _, err := s.Apply(zero); err == nil {
+		t.Fatal("Apply with zero priority succeeded, want validation error")
+	}
+	zero.Priority = aalwines.ScenarioMaxPriority + 1
+	if _, err := s.Apply(zero); err == nil {
+		t.Fatal("Apply above ScenarioMaxPriority succeeded, want validation error")
+	}
+
+	// Atomic batches surface a typed error naming the failing position.
+	_, err = s.ApplyAllText([]string{"fail v2.oe4#v3.ie4", "drain nowhere"})
+	var ae *aalwines.ScenarioApplyError
+	if !errors.As(err, &ae) || ae.Index != 1 {
+		t.Fatalf("ApplyAllText error = %v, want *ScenarioApplyError at index 1", err)
+	}
+	if len(s.Deltas()) != 2 {
+		t.Fatalf("failed batch mutated the session: %d deltas", len(s.Deltas()))
+	}
 }

@@ -118,10 +118,10 @@ func run() error {
 		}
 		sess = scenario.NewSession(net)
 		defer sess.Close()
-		for _, d := range deltas {
-			if _, err := sess.Apply(d); err != nil {
-				return fmt.Errorf("%s: %q: %w", *scenarioFile, d.Canon(), err)
-			}
+		// ApplyAll validates the whole file before applying, then rebuilds
+		// the overlay once; its error names the failing command.
+		if _, err := sess.ApplyAll(deltas); err != nil {
+			return fmt.Errorf("%s: %w", *scenarioFile, err)
 		}
 		net = sess.Overlay()
 	}

@@ -154,6 +154,17 @@ func (r *Runner) parse(text string) (*query.Query, error) {
 // per query, in input order regardless of scheduling. Cancelling ctx stops
 // the batch: queries not yet finished report the context's error.
 func (r *Runner) Verify(ctx context.Context, queries []string, opts Options) []Result {
+	return r.VerifyOn(ctx, r.Network(), queries, opts)
+}
+
+// VerifyOn is Verify against an explicit network snapshot instead of the
+// runner's current binding. A scenario session pins the overlay it hands
+// back for response rendering, so the run and the rendering agree even
+// when a concurrent delta rebinds the runner mid-request. The network must
+// share the runner's topology and label table (parsed queries are reused
+// across Rebind); the translation cache is consulted only while it still
+// serves net, so a stale snapshot costs a rebuild, never a wrong answer.
+func (r *Runner) VerifyOn(ctx context.Context, net *network.Network, queries []string, opts Options) []Result {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -163,7 +174,6 @@ func (r *Runner) Verify(ctx context.Context, queries []string, opts Options) []R
 	}
 	eopts := opts.Engine
 	eopts.Cache = r.cache
-	net := r.Network()
 
 	mBatches.Inc()
 	mQueries.Add(int64(len(queries)))

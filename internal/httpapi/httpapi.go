@@ -41,6 +41,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -478,13 +479,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		maxSess = 64
 	}
 	sess := scenario.NewSession(net)
-	for _, cmd := range req.Deltas {
-		if _, err := sess.ApplyText(cmd); err != nil {
-			sess.Close()
-			writeErrorDetails(w, http.StatusUnprocessableEntity, "bad-request", err.Error(),
-				map[string]string{"command": cmd})
-			return
-		}
+	if _, err := sess.ApplyAllText(req.Deltas); err != nil {
+		sess.Close()
+		writeApplyError(w, err, req.Deltas)
+		return
 	}
 	s.mu.Lock()
 	if len(s.sessions) >= maxSess {
@@ -570,6 +568,24 @@ type SessionDeltasResponse struct {
 	Session SessionJSON             `json:"session"`
 }
 
+// writeApplyError writes the 422 envelope for a failed atomic delta batch,
+// with the offending command and its batch index in the details.
+func writeApplyError(w http.ResponseWriter, err error, cmds []string) {
+	msg := err.Error()
+	var details map[string]string
+	var ae *scenario.ApplyError
+	if errors.As(err, &ae) {
+		msg = ae.Err.Error()
+		details = map[string]string{"index": strconv.Itoa(ae.Index)}
+		if ae.Index < len(cmds) {
+			details["command"] = cmds[ae.Index]
+		} else {
+			details["command"] = ae.Cmd
+		}
+	}
+	writeErrorDetails(w, http.StatusUnprocessableEntity, "bad-request", msg, details)
+}
+
 func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
 	e := s.lookupSession(w, r.PathValue("id"))
 	if e == nil {
@@ -584,19 +600,13 @@ func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad-request", "no delta commands")
 		return
 	}
-	var seqs []int
-	for i, cmd := range req.Commands {
-		seq, err := e.sess.ApplyText(cmd)
-		if err != nil {
-			// Atomic: roll back what this request already applied.
-			for _, u := range seqs {
-				_ = e.sess.Undo(u)
-			}
-			writeErrorDetails(w, http.StatusUnprocessableEntity, "bad-request", err.Error(),
-				map[string]string{"command": cmd, "index": strconv.Itoa(i)})
-			return
-		}
-		seqs = append(seqs, seq)
+	// Atomic by construction: ApplyAllText validates every command before
+	// pushing any, and pushes all of them under one session lock — no
+	// rollback window a concurrent request could observe.
+	seqs, err := e.sess.ApplyAllText(req.Commands)
+	if err != nil {
+		writeApplyError(w, err, req.Commands)
+		return
 	}
 	all := e.sess.Deltas()
 	applied := make([]scenario.AppliedDelta, 0, len(seqs))
@@ -645,12 +655,15 @@ func (s *Server) handleSessionVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad-request", "empty query")
 		return
 	}
-	overlay := e.sess.Overlay()
-	opts, ok := s.engineOptions(w, overlay, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
+	// Engine options only read topology and locations, which every overlay
+	// shares with the base; the overlay actually verified comes back from
+	// VerifySnapshot so the response is rendered from the same network the
+	// run was pinned to, even if a delta lands concurrently.
+	opts, ok := s.engineOptions(w, e.sess.Base(), req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
 	if !ok {
 		return
 	}
-	res, err := e.sess.Verify(r.Context(), req.Query, opts)
+	res, overlay, err := e.sess.VerifySnapshot(r.Context(), req.Query, opts)
 	if err != nil {
 		writeVerifyError(w, err, res.Stats)
 		return
@@ -672,13 +685,14 @@ func (s *Server) handleSessionVerifyBatch(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusBadRequest, "bad-request", "no queries")
 		return
 	}
-	overlay := e.sess.Overlay()
-	opts, ok := s.engineOptions(w, overlay, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
+	// As in handleSessionVerify: options from the shared topology, response
+	// rendered from the overlay the batch was actually pinned to.
+	opts, ok := s.engineOptions(w, e.sess.Base(), req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
 	if !ok {
 		return
 	}
 	start := time.Now()
-	results := e.sess.VerifyBatch(r.Context(), req.Queries, batch.Options{
+	results, overlay := e.sess.VerifyBatchSnapshot(r.Context(), req.Queries, batch.Options{
 		Workers: s.clampWorkers(req.Workers),
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 		Engine:  opts,

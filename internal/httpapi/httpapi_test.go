@@ -744,6 +744,17 @@ func TestSessionErrors(t *testing.T) {
 		t.Fatalf("rollback failed, deltas = %+v", gj.Deltas)
 	}
 
+	// An absurd priority is rejected up front (422) instead of letting
+	// materialize allocate billions of groups for it.
+	dresp = doJSON(t, http.MethodPost, sessURL+"/deltas",
+		httpapi.SessionDeltasRequest{Commands: []string{
+			"add-entry v0.oe1#v2.ie1 s40 2000000000 v2.oe4#v3.ie4",
+		}})
+	if dresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("huge priority: status = %d, want 422", dresp.StatusCode)
+	}
+	decodeEnvelope(t, dresp)
+
 	// Undo of an unknown seq.
 	uresp := doJSON(t, http.MethodDelete, sessURL+"/deltas/99", nil)
 	if uresp.StatusCode != http.StatusNotFound {

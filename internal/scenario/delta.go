@@ -48,6 +48,13 @@ const (
 	SwapPriority
 )
 
+// MaxPriority caps the priority slot a delta may address. Real TE tables
+// hold a handful of backup groups (the paper's examples use two or three),
+// while applyEdit pads a key's group list out to the named priority — so
+// without a cap a single add-entry or swap-priority delta could make
+// materialize allocate arbitrarily many groups.
+const MaxPriority = 64
+
 var kindWords = map[Kind]string{
 	FailLink:      "fail",
 	RestoreLink:   "restore",
@@ -70,7 +77,8 @@ type Delta struct {
 	// Router names the affected router for DrainRouter/RestoreRouter.
 	Router string `json:"router,omitempty"`
 	// In/Top/Priority address a routing-table slot for the entry and
-	// priority deltas. Priority is 1-based, as in the paper's tables.
+	// priority deltas. Priority is 1-based, as in the paper's tables, and
+	// bounded by MaxPriority.
 	In       string `json:"in,omitempty"`
 	Top      string `json:"top,omitempty"`
 	Priority int    `json:"priority,omitempty"`
@@ -149,8 +157,8 @@ func ParseDelta(line string) (Delta, error) {
 			return bad("add-entry wants <in> <top> <priority> <out> [ops]")
 		}
 		p, err := strconv.Atoi(fields[3])
-		if err != nil || p < 1 {
-			return bad("add-entry: bad priority %q", fields[3])
+		if err != nil || p < 1 || p > MaxPriority {
+			return bad("add-entry: bad priority %q (want 1..%d)", fields[3], MaxPriority)
 		}
 		d := Delta{Kind: AddEntry, In: fields[1], Top: fields[2], Priority: p, Out: fields[4]}
 		if len(fields) == 6 {
@@ -165,8 +173,8 @@ func ParseDelta(line string) (Delta, error) {
 			return bad("remove-entry wants <in> <top> <priority> <out>")
 		}
 		p, err := strconv.Atoi(fields[3])
-		if err != nil || p < 1 {
-			return bad("remove-entry: bad priority %q", fields[3])
+		if err != nil || p < 1 || p > MaxPriority {
+			return bad("remove-entry: bad priority %q (want 1..%d)", fields[3], MaxPriority)
 		}
 		return Delta{Kind: RemoveEntry, In: fields[1], Top: fields[2], Priority: p, Out: fields[4]}, nil
 	case "swap-priority":
@@ -175,8 +183,8 @@ func ParseDelta(line string) (Delta, error) {
 		}
 		p1, err1 := strconv.Atoi(fields[3])
 		p2, err2 := strconv.Atoi(fields[4])
-		if err1 != nil || err2 != nil || p1 < 1 || p2 < 1 {
-			return bad("swap-priority: bad priorities %q %q", fields[3], fields[4])
+		if err1 != nil || err2 != nil || p1 < 1 || p2 < 1 || p1 > MaxPriority || p2 > MaxPriority {
+			return bad("swap-priority: bad priorities %q %q (want 1..%d)", fields[3], fields[4], MaxPriority)
 		}
 		return Delta{Kind: SwapPriority, In: fields[1], Top: fields[2], Priority: p1, Priority2: p2}, nil
 	default:
@@ -317,8 +325,19 @@ func dedupRouters(rs ...topology.RouterID) []topology.RouterID {
 	return out
 }
 
+// checkPriority bounds a priority slot to [1, MaxPriority]. Enforced here
+// (not only in ParseDelta) because validate is the gate materialize relies
+// on: applyEdit indexes gs[p-1] and pads the group list out to p, so an
+// unvalidated priority either panics or allocates without bound.
+func checkPriority(p int) error {
+	if p < 1 || p > MaxPriority {
+		return fmt.Errorf("scenario: priority %d out of range (want 1..%d)", p, MaxPriority)
+	}
+	return nil
+}
+
 // validate resolves every name the delta references against the base
-// network, without mutating anything.
+// network and bounds its priority slots, without mutating anything.
 func (d Delta) validate(net *network.Network) error {
 	switch d.Kind {
 	case FailLink, RestoreLink:
@@ -330,6 +349,9 @@ func (d Delta) validate(net *network.Network) error {
 		}
 		return nil
 	case AddEntry, RemoveEntry, SwapPriority:
+		if err := checkPriority(d.Priority); err != nil {
+			return err
+		}
 		if _, err := resolveLink(net.Topo, d.In); err != nil {
 			return err
 		}
@@ -337,6 +359,9 @@ func (d Delta) validate(net *network.Network) error {
 			return fmt.Errorf("scenario: unknown label %q", d.Top)
 		}
 		if d.Kind == SwapPriority {
+			if err := checkPriority(d.Priority2); err != nil {
+				return err
+			}
 			if d.Priority == d.Priority2 {
 				return fmt.Errorf("scenario: swap-priority with equal priorities %d", d.Priority)
 			}

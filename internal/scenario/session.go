@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -102,21 +103,37 @@ func (s *Session) Deltas() []AppliedDelta {
 	return append([]AppliedDelta(nil), s.deltas...)
 }
 
+// ApplyError reports which delta of an atomic batch application failed.
+// Nothing was applied when one is returned.
+type ApplyError struct {
+	// Index is the failing delta's position in the submitted batch.
+	Index int
+	// Cmd is the failing command as submitted (ApplyAllText) or in
+	// canonical form (ApplyAll).
+	Cmd string
+	// Err is the underlying parse or validation error.
+	Err error
+}
+
+func (e *ApplyError) Error() string {
+	return fmt.Sprintf("delta %d (%s): %v", e.Index, e.Cmd, e.Err)
+}
+
+func (e *ApplyError) Unwrap() error { return e.Err }
+
 // Apply validates a delta against the base network, pushes it on the
 // stack and rebuilds the overlay. It returns the sequence number to pass
 // to Undo.
 func (s *Session) Apply(d Delta) (int, error) {
-	if err := d.validate(s.base); err != nil {
+	seqs, err := s.ApplyAll([]Delta{d})
+	if err != nil {
+		var ae *ApplyError
+		if errors.As(err, &ae) {
+			return 0, ae.Err
+		}
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seq := s.nextSeq
-	s.nextSeq++
-	s.deltas = append(s.deltas, AppliedDelta{Seq: seq, Canon: d.Canon(), Delta: d})
-	s.refresh()
-	mDeltasApplied.Inc()
-	return seq, nil
+	return seqs[0], nil
 }
 
 // ApplyText parses and applies one delta command.
@@ -126,6 +143,49 @@ func (s *Session) ApplyText(cmd string) (int, error) {
 		return 0, err
 	}
 	return s.Apply(d)
+}
+
+// ApplyAll applies a batch of deltas atomically: every delta is validated
+// against the base network before any is pushed, and the stack mutation
+// plus overlay rebuild happen under one lock — so either all deltas apply
+// (returning their sequence numbers in submission order) or none do, and
+// a concurrent Verify observes the stack before or after the whole batch,
+// never between its deltas. On failure the error is an *ApplyError naming
+// the offending delta.
+func (s *Session) ApplyAll(ds []Delta) ([]int, error) {
+	for i, d := range ds {
+		if err := d.validate(s.base); err != nil {
+			return nil, &ApplyError{Index: i, Cmd: d.Canon(), Err: err}
+		}
+	}
+	if len(ds) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seqs := make([]int, len(ds))
+	for i, d := range ds {
+		seqs[i] = s.nextSeq
+		s.nextSeq++
+		s.deltas = append(s.deltas, AppliedDelta{Seq: seqs[i], Canon: d.Canon(), Delta: d})
+	}
+	s.refresh()
+	mDeltasApplied.Add(int64(len(ds)))
+	return seqs, nil
+}
+
+// ApplyAllText parses and atomically applies a batch of delta commands;
+// see ApplyAll.
+func (s *Session) ApplyAllText(cmds []string) ([]int, error) {
+	ds := make([]Delta, len(cmds))
+	for i, cmd := range cmds {
+		d, err := ParseDelta(cmd)
+		if err != nil {
+			return nil, &ApplyError{Index: i, Cmd: cmd, Err: err}
+		}
+		ds[i] = d
+	}
+	return s.ApplyAll(ds)
 }
 
 // Undo removes the delta with the given sequence number — any delta, not
@@ -360,14 +420,33 @@ func deepCopyGroups(gs routing.Groups) routing.Groups {
 // Verify runs one query against the current overlay, with translation
 // served from the session's incremental cache.
 func (s *Session) Verify(ctx context.Context, queryText string, opts engine.Options) (engine.Result, error) {
-	rs := s.runner.Verify(ctx, []string{queryText}, batch.Options{Workers: 1, Engine: opts})
-	return rs[0].Res, rs[0].Err
+	res, _, err := s.VerifySnapshot(ctx, queryText, opts)
+	return res, err
+}
+
+// VerifySnapshot is Verify returning also the overlay network the run was
+// pinned to. Callers rendering the result (witness traces reference the
+// network's links and headers) must render from the returned overlay: a
+// delta applied concurrently with the verification swaps Overlay()
+// underneath, while the run itself stays on the snapshot taken here.
+func (s *Session) VerifySnapshot(ctx context.Context, queryText string, opts engine.Options) (engine.Result, *network.Network, error) {
+	overlay := s.Overlay()
+	rs := s.runner.VerifyOn(ctx, overlay, []string{queryText}, batch.Options{Workers: 1, Engine: opts})
+	return rs[0].Res, overlay, rs[0].Err
 }
 
 // VerifyBatch runs a batch of queries against the current overlay on the
 // session's shared runner (bounded worker pool, results in input order).
 func (s *Session) VerifyBatch(ctx context.Context, queries []string, opts batch.Options) []batch.Result {
-	return s.runner.Verify(ctx, queries, opts)
+	rs, _ := s.VerifyBatchSnapshot(ctx, queries, opts)
+	return rs
+}
+
+// VerifyBatchSnapshot is VerifyBatch returning also the overlay network
+// the whole batch was pinned to; see VerifySnapshot.
+func (s *Session) VerifyBatchSnapshot(ctx context.Context, queries []string, opts batch.Options) ([]batch.Result, *network.Network) {
+	overlay := s.Overlay()
+	return s.runner.VerifyOn(ctx, overlay, queries, opts), overlay
 }
 
 // CacheStats reports the session translation cache's assembled-system

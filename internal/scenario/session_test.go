@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -82,6 +83,108 @@ func TestApplyValidates(t *testing.T) {
 	if s.Overlay() != re.Network {
 		t.Error("empty stack must serve the base network itself")
 	}
+}
+
+// TestPriorityBounds guards materialize against unvalidated priority
+// slots: a directly constructed Delta with a zero priority must be
+// rejected (not panic with index-out-of-range in applyEdit), and a huge
+// priority must be rejected before the group list is padded out to it.
+func TestPriorityBounds(t *testing.T) {
+	re := gen.RunningExample()
+	s := NewSession(re.Network)
+	defer s.Close()
+
+	for _, d := range []Delta{
+		{Kind: AddEntry, In: "v0.oe1#v2.ie1", Top: "s40", Out: "v2.oe4#v3.ie4"}, // Priority left at 0
+		{Kind: AddEntry, In: "v0.oe1#v2.ie1", Top: "s40", Priority: 2_000_000_000, Out: "v2.oe4#v3.ie4"},
+		{Kind: RemoveEntry, In: "v0.oe1#v2.ie1", Top: "s40", Priority: MaxPriority + 1, Out: "v2.oe4#v3.ie4"},
+		{Kind: SwapPriority, In: "v0.oe1#v2.ie1", Top: "s40", Priority: 1, Priority2: 1 << 30},
+		{Kind: SwapPriority, In: "v0.oe1#v2.ie1", Top: "s40", Priority2: 2}, // Priority left at 0
+	} {
+		if _, err := s.Apply(d); err == nil {
+			t.Errorf("Apply(%s) succeeded, want out-of-range error", d.Canon())
+		}
+	}
+	if len(s.Deltas()) != 0 {
+		t.Fatal("rejected deltas must not land on the stack")
+	}
+	for _, bad := range []string{
+		"add-entry v0.oe1#v2.ie1 s40 2000000000 v2.oe4#v3.ie4",
+		"swap-priority v0.oe1#v2.ie1 s40 1 2000000000",
+	} {
+		if _, err := ParseDelta(bad); err == nil {
+			t.Errorf("ParseDelta(%q) succeeded, want error", bad)
+		}
+	}
+	// The cap still leaves room for deep TE stacks.
+	if _, err := s.Apply(Delta{Kind: AddEntry, In: "v0.oe1#v2.ie1", Top: "s40",
+		Priority: MaxPriority, Out: "v2.oe4#v3.ie4"}); err != nil {
+		t.Fatalf("Apply at MaxPriority: %v", err)
+	}
+}
+
+// TestApplyAllAtomic checks the batch-apply contract: a batch with one
+// invalid delta applies nothing and names the failing position, a valid
+// batch applies everything, and the result is indistinguishable from
+// sequential Apply calls.
+func TestApplyAllAtomic(t *testing.T) {
+	re := gen.RunningExample()
+	s := NewSession(re.Network)
+	defer s.Close()
+
+	_, err := s.ApplyAllText([]string{"fail v2.oe4#v3.ie4", "drain nowhere"})
+	if err == nil {
+		t.Fatal("mixed batch succeeded, want error")
+	}
+	var ae *ApplyError
+	if !errors.As(err, &ae) || ae.Index != 1 || ae.Cmd != "drain nowhere" {
+		t.Fatalf("error = %v, want *ApplyError at index 1", err)
+	}
+	if len(s.Deltas()) != 0 || s.Overlay() != re.Network {
+		t.Fatal("failed batch must leave the session untouched")
+	}
+
+	seqs, err := s.ApplyAllText([]string{"fail v2.oe4#v3.ie4", "drain v4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0]+1 != seqs[1] {
+		t.Fatalf("seqs = %v", seqs)
+	}
+	s2 := NewSession(re.Network)
+	defer s2.Close()
+	for _, cmd := range []string{"fail v2.oe4#v3.ie4", "drain v4"} {
+		if _, err := s2.ApplyText(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Fingerprint() != s2.Fingerprint() {
+		t.Fatalf("batch fingerprint %x != sequential %x", s.Fingerprint(), s2.Fingerprint())
+	}
+}
+
+// TestVerifySnapshotOverlay checks VerifySnapshot hands back the overlay
+// the run was pinned to, agreeing with Verify at rest.
+func TestVerifySnapshotOverlay(t *testing.T) {
+	re := gen.RunningExample()
+	s := NewSession(re.Network)
+	defer s.Close()
+	if _, err := s.ApplyText("fail v2.oe4#v3.ie4"); err != nil {
+		t.Fatal(err)
+	}
+	const qt = "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 1"
+	res, overlay, err := s.VerifySnapshot(context.Background(), qt, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlay != s.Overlay() {
+		t.Error("VerifySnapshot must return the overlay the run was pinned to")
+	}
+	want, err := s.Verify(context.Background(), qt, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVerify(t, "snapshot vs verify", res, want)
 }
 
 // sameVerify asserts two engine results are byte-identical in everything
