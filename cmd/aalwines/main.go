@@ -17,6 +17,15 @@
 // Queries (and -write-topology/-write-routing/-dot exports) then run
 // against the mutated overlay; the base network is never modified.
 //
+// With -sweep the queries become invariants and the tool explores the
+// network's failure space instead of verifying once: every single link
+// failure (-sweep-depth 1) or every single and unordered double failure
+// (-sweep-depth 2) is compiled into a what-if scenario and the whole
+// (scenario × invariant) grid is verified on the worker pool, reusing
+// translated rule blocks across neighbouring scenarios. The report lists,
+// per invariant, the verdict distribution and the minimal breaking
+// failure sets.
+//
 // Examples:
 //
 //	aalwines -net running-example -query '<ip> [.#v0] .* [v3#.] <ip> 0'
@@ -26,12 +35,14 @@
 //	aalwines -topo topo.xml -routing route.xml -query '...' -engine moped
 //	aalwines -net zoo -routers 84 -queries what-if.q -j 4 -json
 //	aalwines -net running-example -scenario outage.wif -queries what-if.q -json
+//	aalwines -net running-example -sweep -sweep-depth 2 -queries invariants.q
 //	aalwines -net zoo -routers 84 -write-topology topo.xml -write-routing route.xml
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +55,7 @@ import (
 	"aalwines/internal/moped"
 	"aalwines/internal/obs"
 	"aalwines/internal/scenario"
+	"aalwines/internal/sweep"
 	"aalwines/internal/viz"
 	"aalwines/internal/weight"
 	"aalwines/internal/xmlio"
@@ -75,6 +87,9 @@ func run() error {
 	workers := flag.Int("j", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
 	flag.IntVar(workers, "parallel", 0, "alias for -j")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query wall-clock deadline for -queries batches (0 = none)")
+	sweepMode := flag.Bool("sweep", false, "resilience sweep: verify every query under every single/double link failure")
+	sweepDepth := flag.Int("sweep-depth", 1, "failure-space depth for -sweep: 1 = single links, 2 = singles + pairs")
+	sweepCells := flag.Bool("sweep-cells", false, "embed the full per-cell grid in -sweep -json output")
 	engineName := flag.String("engine", "dual", "saturation backend: dual or moped")
 	weightSpec := flag.String("weight", "", "minimisation vector, e.g. 'Hops, Failures + 3*Tunnels'")
 	useDistance := flag.Bool("geo-distance", false, "use great-circle distances for the Distance quantity")
@@ -172,6 +187,39 @@ func run() error {
 		opts.Saturate = moped.Poststar
 	default:
 		return fmt.Errorf("unknown engine %q", *engineName)
+	}
+
+	if *sweepMode {
+		if *dotOut != "" {
+			return fmt.Errorf("-dot is not supported with -sweep")
+		}
+		var texts []string
+		if *queriesFile != "" {
+			texts, err = readQueries(*queriesFile)
+			if err != nil {
+				return err
+			}
+		}
+		if *queryText != "" {
+			texts = append(texts, *queryText)
+		}
+		res, err := sweep.Run(context.Background(), net, sweep.Config{
+			Depth:        *sweepDepth,
+			Invariants:   texts,
+			Workers:      *workers,
+			Engine:       opts,
+			Timeout:      *queryTimeout,
+			IncludeCells: *sweepCells,
+		})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res.Report)
+		}
+		return res.Report.WriteText(os.Stdout)
 	}
 
 	if *queriesFile != "" {

@@ -8,7 +8,10 @@
 //
 // Endpoints (all under the versioned prefix): GET /api/v1/networks,
 // GET /api/v1/networks/{name}/topology, POST /api/v1/verify,
-// POST /api/v1/verify-batch, the scenario-session routes
+// POST /api/v1/verify-batch, POST /api/v1/networks/{name}/sweep
+// (resilience sweep over the single/double link-failure space; "stream"
+// switches the response to newline-delimited per-cell JSON events),
+// the scenario-session routes
 // (POST/GET /api/v1/sessions, GET/DELETE /api/v1/sessions/{id},
 // POST /api/v1/sessions/{id}/deltas, DELETE /api/v1/sessions/{id}/deltas/{seq},
 // POST /api/v1/sessions/{id}/verify{,-batch}), GET /metrics (Prometheus

@@ -36,6 +36,7 @@ var volatileKeys = map[string]bool{
 	"elapsedMs": true, // batch wall-clock timings
 	"sizes":     true, // automaton/rule counts move with translation changes
 	"cache":     true, // session cache counters depend on engine internals
+	"latencyMs": true, // sweep per-cell latency percentiles
 }
 
 type step struct {
@@ -73,6 +74,12 @@ var steps = []step{
 	{name: "verify-batch", method: "POST", path: "/api/v1/verify-batch",
 		body:       `{"network":"running-example","queries":["<ip> [.#v0] .* [v3#.] <ip> 0","<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 1"]}`,
 		wantStatus: 200, golden: "verify_batch.json"},
+	{name: "sweep", method: "POST", path: "/api/v1/networks/running-example/sweep",
+		body:       `{"depth":1,"invariants":["<ip> [.#v0] .* [v3#.] <ip> 0","<ip> [.#v0] [v0#v2] .* [v3#.] <ip> 0"],"workers":1,"includeCells":true}`,
+		wantStatus: 200, golden: "sweep.json"},
+	{name: "sweep-bad-depth", method: "POST", path: "/api/v1/networks/running-example/sweep",
+		body:       `{"depth":3,"invariants":["<ip> [.#v0] .* [v3#.] <ip> 0"]}`,
+		wantStatus: 400, golden: "sweep_error.json"},
 	{name: "networks-deprecated-alias", method: "GET", path: "/api/networks",
 		wantStatus:  200,
 		wantHeaders: map[string]string{"Deprecation": "true"},

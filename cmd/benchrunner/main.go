@@ -6,6 +6,7 @@
 //	benchrunner -bench-verify           # canonical BENCH_verify.json report
 //	benchrunner -bench-ladder           # scaled ladder: one report per workload
 //	benchrunner -bench-scenario         # what-if session reuse: BENCH_scenario.json
+//	benchrunner -bench-sweep            # resilience sweep: BENCH_sweep.json
 //	benchrunner -validate FILE          # schema-check an existing report
 //
 // Scale knobs (-services, -networks, -queries, -budget) trade fidelity for
@@ -36,10 +37,15 @@ func main() {
 	benchVerify := flag.Bool("bench-verify", false, "run the canonical verification benchmark")
 	benchLadder := flag.Bool("bench-ladder", false, "run the scaled benchmark ladder (one BENCH_verify_<workload>.json per rung)")
 	benchScenario := flag.Bool("bench-scenario", false, "run the what-if session benchmark (rule-block reuse vs from-scratch)")
+	benchSweep := flag.Bool("bench-sweep", false, "run the resilience-sweep benchmark (full single+double failure space)")
 	ladderDir := flag.String("ladder-dir", ".", "output directory for -bench-ladder")
 	out := flag.String("out", "BENCH_verify.json", "output path for -bench-verify")
 	scenarioOut := flag.String("scenario-out", "BENCH_scenario.json", "output path for -bench-scenario")
-	validate := flag.String("validate", "", "validate an existing BENCH_verify.json or BENCH_scenario.json and exit")
+	sweepOut := flag.String("sweep-out", "BENCH_sweep.json", "output path for -bench-sweep")
+	sweepRouters := flag.Int("sweep-routers", 30, "zoo network size for -bench-sweep")
+	sweepDepth := flag.Int("sweep-depth", 2, "failure-space depth for -bench-sweep (1 or 2)")
+	sweepInvariants := flag.Int("sweep-invariants", 2, "invariant count for -bench-sweep")
+	validate := flag.String("validate", "", "validate an existing BENCH_*.json report and exit")
 	benchNet := flag.String("bench-net", "running-example", "network for -bench-verify: running-example, nordunet, zoo")
 	repeat := flag.Int("repeat", 3, "query-set sweeps for -bench-verify (runs after the first hit the warm cache)")
 
@@ -61,10 +67,14 @@ func main() {
 		}
 		// Dispatch on the embedded schema string.
 		schema := experiments.BenchVerifySchema
-		if bytes.Contains(data, []byte(experiments.BenchScenarioSchema)) {
+		switch {
+		case bytes.Contains(data, []byte(experiments.BenchScenarioSchema)):
 			schema = experiments.BenchScenarioSchema
 			err = experiments.ValidateBenchScenario(data)
-		} else {
+		case bytes.Contains(data, []byte(experiments.BenchSweepSchema)):
+			schema = experiments.BenchSweepSchema
+			err = experiments.ValidateBenchSweep(data)
+		default:
 			err = experiments.ValidateBenchVerify(data)
 		}
 		if err != nil {
@@ -74,8 +84,8 @@ func main() {
 		fmt.Printf("%s: valid (%s)\n", *validate, schema)
 		return
 	}
-	if !*table1 && !*figure4 && !*ablation && !*benchVerify && !*benchLadder && !*benchScenario {
-		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify, -bench-ladder, -bench-scenario")
+	if !*table1 && !*figure4 && !*ablation && !*benchVerify && !*benchLadder && !*benchScenario && !*benchSweep {
+		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify, -bench-ladder, -bench-scenario, -bench-sweep")
 		os.Exit(2)
 	}
 	if *benchLadder {
@@ -148,6 +158,32 @@ func main() {
 		fmt.Printf("   from-scratch %8.2fms  0 reused (speedup %.2fx)\n",
 			rep.Scratch.ElapsedMS, rep.SpeedupX)
 		fmt.Printf("   wrote %s\n", *scenarioOut)
+	}
+	if *benchSweep {
+		rep, err := experiments.BenchSweep(experiments.BenchSweepConfig{
+			Routers: *sweepRouters, Invariants: *sweepInvariants, Depth: *sweepDepth,
+			Workers: *parallel, Budget: *budget, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteBenchSweep(*sweepOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		r := rep.Report
+		fmt.Printf("== Resilience sweep: %s depth=%d  %d links, %d scenarios × %d invariants ==\n",
+			r.Network, r.Depth, r.Links, r.Scenarios, len(r.Invariants))
+		for _, inv := range r.Invariants {
+			fmt.Printf("   %-60s breaking=%d (%d minimal)\n",
+				truncate(inv.Query, 60), inv.Breaking, len(inv.MinimalBreaking))
+		}
+		fmt.Printf("   cache: %d blocks reused / %d rebuilt (%.0f%% reuse)\n",
+			r.Cache.BlocksReused, r.Cache.BlocksRebuilt, r.Cache.ReuseRate*100)
+		fmt.Printf("   latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms  elapsed=%.0fms\n",
+			r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P99, r.LatencyMS.Max, r.ElapsedMS)
+		fmt.Printf("   wrote %s\n", *sweepOut)
 	}
 	if *table1 {
 		fmt.Printf("== Table 1: query verification time (seconds) ==\n")

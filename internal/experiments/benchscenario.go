@@ -165,15 +165,10 @@ func scenarioSweep(sess *scenario.Session, queries []string, bopts batch.Options
 	return ph, nil
 }
 
-// WriteBenchScenario writes the report to path atomically, like
-// WriteBenchVerify.
+// WriteBenchScenario writes the report to path atomically after validating
+// it against its own schema (WriteReport).
 func WriteBenchScenario(path string, rep *BenchScenarioReport) error {
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	return writeFileAtomic(path, data)
+	return WriteReport(path, rep, ValidateBenchScenario)
 }
 
 // ValidateBenchScenario checks that data is a well-formed

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/sweep"
+)
+
+// BenchSweepSchema identifies the BENCH_sweep.json document layout.
+const BenchSweepSchema = "aalwines/bench-sweep/v1"
+
+// BenchSweepConfig configures the resilience-sweep benchmark: a zoo
+// workload's complete single+double link failure space verified against a
+// small invariant set — the designated stress test for cross-scenario
+// SessionCache reuse (neighbouring failure sets share all but 1–2 router
+// versions, so most rule blocks splice straight from the store).
+type BenchSweepConfig struct {
+	// Routers sizes the generated zoo network (default 30, the bench-verify
+	// zoo rung).
+	Routers int
+	// Invariants is the number of synthesised queries swept (default 2).
+	Invariants int
+	// Depth is the failure-space depth (default 2: singles + pairs).
+	Depth int
+	// Workers is the scenario-level pool size (0 = GOMAXPROCS).
+	Workers int
+	// Budget bounds saturation work per cell per direction (0 = unlimited).
+	Budget int64
+	// Seed drives the network and the query set.
+	Seed int64
+}
+
+// BenchSweepReport is the content of BENCH_sweep.json: the workload
+// parameters plus the sweep engine's own aggregated report.
+type BenchSweepReport struct {
+	Schema  string       `json:"schema"`
+	Routers int          `json:"routers"`
+	Seed    int64        `json:"seed"`
+	Budget  int64        `json:"budget"`
+	Report  sweep.Report `json:"report"`
+}
+
+// BenchSweep runs the resilience-sweep benchmark and returns its report.
+func BenchSweep(cfg BenchSweepConfig) (*BenchSweepReport, error) {
+	routers := cfg.Routers
+	if routers <= 0 {
+		routers = 30
+	}
+	nq := cfg.Invariants
+	if nq <= 0 {
+		nq = 2
+	}
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 2
+	}
+	syn := gen.Zoo(gen.ZooOpts{Routers: routers, Seed: cfg.Seed, Protection: true})
+	var queries []string
+	for _, q := range syn.Queries(nq, cfg.Seed) {
+		queries = append(queries, q.Text)
+	}
+	res, err := sweep.Run(context.Background(), syn.Net, sweep.Config{
+		Depth:      depth,
+		Invariants: queries,
+		Workers:    cfg.Workers,
+		Engine:     engine.Options{Budget: cfg.Budget},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchsweep: %w", err)
+	}
+	return &BenchSweepReport{
+		Schema:  BenchSweepSchema,
+		Routers: routers,
+		Seed:    cfg.Seed,
+		Budget:  cfg.Budget,
+		Report:  res.Report,
+	}, nil
+}
+
+// WriteBenchSweep writes the report to path atomically after validating it
+// against its own schema (WriteReport).
+func WriteBenchSweep(path string, rep *BenchSweepReport) error {
+	return WriteReport(path, rep, ValidateBenchSweep)
+}
+
+// ValidateBenchSweep checks that data is a well-formed BENCH_sweep.json:
+// strict field set, the expected schema string, a complete failure space
+// (the scenario count matches C(n,1)+C(n,2) over the reported live links,
+// every cell completed), per-invariant verdict accounting, ordered latency
+// percentiles — and the benchmark's headline claim, cross-scenario rule
+// block reuse of at least 50%.
+func ValidateBenchSweep(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep BenchSweepReport
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("benchsweep: parse: %w", err)
+	}
+	if rep.Schema != BenchSweepSchema {
+		return fmt.Errorf("benchsweep: schema %q, want %q", rep.Schema, BenchSweepSchema)
+	}
+	r := rep.Report
+	if rep.Routers <= 0 || r.Network == "" || r.Links <= 0 {
+		return fmt.Errorf("benchsweep: empty workload: %+v", rep)
+	}
+	want := r.Links
+	switch r.Depth {
+	case 1:
+	case 2:
+		want += r.Links * (r.Links - 1) / 2
+	default:
+		return fmt.Errorf("benchsweep: depth %d", r.Depth)
+	}
+	if r.Scenarios != want {
+		return fmt.Errorf("benchsweep: %d scenarios over %d links at depth %d, want %d (incomplete enumeration?)",
+			r.Scenarios, r.Links, r.Depth, want)
+	}
+	if len(r.Invariants) == 0 || r.CellsTotal != r.Scenarios*len(r.Invariants) {
+		return fmt.Errorf("benchsweep: cells=%d, want scenarios(%d) × invariants(%d)",
+			r.CellsTotal, r.Scenarios, len(r.Invariants))
+	}
+	if r.Incomplete || r.CellsIncomplete != 0 {
+		return fmt.Errorf("benchsweep: sweep incomplete (%d cells)", r.CellsIncomplete)
+	}
+	for i, inv := range r.Invariants {
+		if inv.Query == "" || inv.Baseline == "" {
+			return fmt.Errorf("benchsweep: invariant %d missing query/baseline", i)
+		}
+		total := inv.Errors + inv.Incomplete
+		for v, n := range inv.Verdicts {
+			if n < 0 {
+				return fmt.Errorf("benchsweep: invariant %d: negative verdict count %s=%d", i, v, n)
+			}
+			total += n
+		}
+		if total != r.Scenarios {
+			return fmt.Errorf("benchsweep: invariant %d: verdicts+errors=%d, want %d", i, total, r.Scenarios)
+		}
+		if inv.Breaking < len(inv.MinimalBreaking) {
+			return fmt.Errorf("benchsweep: invariant %d: %d minimal sets exceed %d breaking scenarios",
+				i, len(inv.MinimalBreaking), inv.Breaking)
+		}
+	}
+	c := r.Cache
+	if c.Gets < c.Hits || c.BlocksReused < 0 || c.BlocksRebuilt < 0 {
+		return fmt.Errorf("benchsweep: cache counters inconsistent: %+v", c)
+	}
+	if c.ReuseRate < 0 || c.ReuseRate > 1 {
+		return fmt.Errorf("benchsweep: reuse rate %g outside [0,1]", c.ReuseRate)
+	}
+	if c.ReuseRate < 0.5 {
+		return fmt.Errorf("benchsweep: rule-block reuse rate %.2f below the 0.5 floor", c.ReuseRate)
+	}
+	l := r.LatencyMS
+	if l.P50 < 0 || l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max {
+		return fmt.Errorf("benchsweep: latency percentiles out of order: %+v", l)
+	}
+	if l.Mean < 0 || l.Mean > l.Max {
+		return fmt.Errorf("benchsweep: latency mean %g outside [0, max=%g]", l.Mean, l.Max)
+	}
+	if r.ElapsedMS < 0 {
+		return fmt.Errorf("benchsweep: negative elapsed %g", r.ElapsedMS)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchSweepSmoke runs a small instance end to end: the report must
+// pass its own validator, survive the write-validate-rename path, and the
+// validator must reject tampered documents.
+func TestBenchSweepSmoke(t *testing.T) {
+	rep, err := BenchSweep(BenchSweepConfig{Routers: 8, Invariants: 2, Depth: 1, Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	if err := WriteBenchSweep(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchSweep(data); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ValidateBenchSweep(bytes.Replace(data, []byte(BenchSweepSchema), []byte("bogus/v9"), 1)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if err := ValidateBenchSweep(append([]byte(`{"extra":1,`), data[1:]...)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := ValidateBenchSweep(bytes.Replace(data, []byte(`"depth": 1`), []byte(`"depth": 2`), 1)); err == nil {
+		t.Error("scenario/depth mismatch accepted")
+	}
+}

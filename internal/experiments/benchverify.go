@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -289,14 +288,9 @@ func RunBenchLadder(dir string, workers int) ([]string, []*BenchVerifyReport, er
 			return paths, reps, fmt.Errorf("benchverify: ladder rung %s: %w", rung.Name, err)
 		}
 		path := filepath.Join(dir, "BENCH_verify_"+rung.Name+".json")
+		// WriteBenchVerify validates the exact bytes before the rename, so
+		// a written rung is a valid rung.
 		if err := WriteBenchVerify(path, rep); err != nil {
-			return paths, reps, err
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return paths, reps, err
-		}
-		if err := ValidateBenchVerify(data); err != nil {
 			return paths, reps, fmt.Errorf("%s: %w", path, err)
 		}
 		paths = append(paths, path)
@@ -305,38 +299,10 @@ func RunBenchLadder(dir string, workers int) ([]string, []*BenchVerifyReport, er
 	return paths, reps, nil
 }
 
-// WriteBenchVerify writes the report to path atomically: the JSON is
-// staged in a temp file in the target directory and renamed into place, so
-// a concurrent reader never sees a partial document.
+// WriteBenchVerify writes the report to path atomically after validating
+// it against its own schema (WriteReport).
 func WriteBenchVerify(path string, rep *BenchVerifyReport) error {
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	return writeFileAtomic(path, data)
-}
-
-// writeFileAtomic stages data in a temp file next to path and renames it
-// into place, so a concurrent reader never sees a partial document.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return WriteReport(path, rep, ValidateBenchVerify)
 }
 
 // ValidateBenchVerify checks that data is a well-formed BENCH_verify.json:

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// WriteReport is the one write path every bench report goes through:
+// marshal with the canonical indentation, run the schema validator over the
+// exact bytes about to land on disk, then stage-and-rename atomically. The
+// validator runs before the rename, so a report that fails its own schema
+// never replaces a previous good file — and a crash mid-write leaves at
+// worst an orphaned temp file, never a truncated report.
+func WriteReport(path string, rep interface{}, validate func([]byte) error) error {
+	data, err := marshalReport(rep)
+	if err != nil {
+		return err
+	}
+	if validate != nil {
+		if err := validate(data); err != nil {
+			return err
+		}
+	}
+	return writeFileAtomic(path, data)
+}
+
+// marshalReport renders a report document: two-space indent, trailing
+// newline — the layout every BENCH_*.json ships with.
+func marshalReport(rep interface{}) ([]byte, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// writeFileAtomic stages data in a temp file next to path and renames it
+// into place, so a concurrent reader never sees a partial document.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

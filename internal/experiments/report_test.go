@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteReport covers the crash/corruption cases the shared writer
+// exists for: a failed validation or marshal must leave a pre-existing
+// good report byte-identical (the stage-then-rename never happens), and no
+// partially written temp file may accumulate in the directory.
+func TestWriteReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+
+	var seen []byte
+	ok := func(data []byte) error { seen = append([]byte(nil), data...); return nil }
+	if err := WriteReport(path, map[string]int{"a": 1}, ok); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(good, seen) {
+		t.Fatal("validator must see the exact bytes written to disk")
+	}
+	if !bytes.HasSuffix(good, []byte("\n")) || !bytes.Contains(good, []byte("  \"a\": 1")) {
+		t.Fatalf("unexpected document layout:\n%s", good)
+	}
+
+	// Validation failure: the old report survives untouched.
+	boom := errors.New("schema violated")
+	if err := WriteReport(path, map[string]int{"a": 2}, func([]byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the validator's", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, good) {
+		t.Fatalf("failed validation replaced the report:\n%s", after)
+	}
+
+	// Marshal failure (a func has no JSON form): same guarantee.
+	if err := WriteReport(path, map[string]interface{}{"f": func() {}}, ok); err == nil {
+		t.Fatal("marshal of a func value succeeded")
+	}
+	if after, _ = os.ReadFile(path); !bytes.Equal(after, good) {
+		t.Fatal("failed marshal replaced the report")
+	}
+
+	// A stale temp file from a crashed earlier writer must not break the
+	// next successful write.
+	stale := filepath.Join(dir, "BENCH_x.json.tmp-stale")
+	if err := os.WriteFile(stale, []byte("{partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(path, map[string]int{"a": 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ = os.ReadFile(path); !bytes.Contains(after, []byte("\"a\": 3")) {
+		t.Fatalf("report not replaced:\n%s", after)
+	}
+	os.Remove(stale)
+
+	// No temp litter from any of the above — the crash-window file is
+	// removed on every path.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory should hold only the report, got %v", entries)
+	}
+}

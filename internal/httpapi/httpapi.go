@@ -7,6 +7,9 @@
 //
 //	GET    /api/v1/networks                    → available networks
 //	GET    /api/v1/networks/{name}/topology    → routers (with coordinates) + links
+//	POST   /api/v1/networks/{name}/sweep       → resilience sweep: verify invariants
+//	                                             across the single/double link failure
+//	                                             space (NDJSON progress opt-in)
 //	POST   /api/v1/verify                      → run a query, returns the verdict,
 //	                                             witness trace and timings
 //	POST   /api/v1/verify-batch                → run many queries on a worker pool
@@ -58,6 +61,7 @@ import (
 	"aalwines/internal/network"
 	"aalwines/internal/obs"
 	"aalwines/internal/scenario"
+	"aalwines/internal/sweep"
 	"aalwines/internal/weight"
 )
 
@@ -113,6 +117,7 @@ func (s *Server) Handler() http.Handler {
 
 	mux.HandleFunc("GET /api/v1/networks", s.handleList)
 	mux.HandleFunc("GET /api/v1/networks/{name}/topology", s.handleTopology)
+	mux.HandleFunc("POST /api/v1/networks/{name}/sweep", s.handleSweep)
 	mux.HandleFunc("POST /api/v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /api/v1/verify-batch", s.handleVerifyBatch)
 
@@ -404,6 +409,119 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		Results:   cli.BatchToJSON(net, results),
 		ElapsedMS: time.Since(start).Seconds() * 1000,
 	})
+}
+
+// SweepRequest is the body of POST /api/v1/networks/{name}/sweep.
+type SweepRequest struct {
+	// Depth selects the failure space: 1 (default) = single links, 2 =
+	// singles plus all unordered pairs.
+	Depth int `json:"depth,omitempty"`
+	// Invariants are the queries verified in every failure scenario.
+	Invariants []string `json:"invariants"`
+	// Weight, Engine, Budget, GeoDistance and NoReductions act as in
+	// VerifyRequest, applied to every cell.
+	Weight       string `json:"weight,omitempty"`
+	Engine       string `json:"engine,omitempty"`
+	Budget       int64  `json:"budget,omitempty"`
+	GeoDistance  bool   `json:"geoDistance,omitempty"`
+	NoReductions bool   `json:"noReductions,omitempty"`
+	// Workers asks for a scenario-level pool size; the server's Parallel
+	// cap wins.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS is a per-cell wall-clock deadline in milliseconds.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// IncludeCells embeds the full per-cell matrix in the report.
+	IncludeCells bool `json:"includeCells,omitempty"`
+	// Stream switches the response to NDJSON: one {"cell": ...} line per
+	// completed cell as it lands, then a final {"report": ...} line.
+	Stream bool `json:"stream,omitempty"`
+	// NoCache disables cross-scenario translation reuse (diagnostics).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// SweepStreamEvent is one NDJSON line of a streaming sweep response:
+// exactly one of Cell or Report is set.
+type SweepStreamEvent struct {
+	Cell   *sweep.CellJSON `json:"cell,omitempty"`
+	Report *sweep.Report   `json:"report,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	net, _ := s.lookup(r.PathValue("name"))
+	if net == nil {
+		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown network "+r.PathValue("name"),
+			map[string]string{"network": r.PathValue("name")})
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Invariants) == 0 {
+		writeError(w, http.StatusBadRequest, "bad-request", "no invariants")
+		return
+	}
+	opts, ok := s.engineOptions(w, net, req.Weight, req.Engine, req.Budget, req.GeoDistance, req.NoReductions)
+	if !ok {
+		return
+	}
+	depth := req.Depth
+	if depth == 0 {
+		depth = 1
+	}
+	cfg := sweep.Config{
+		Depth:        depth,
+		Invariants:   req.Invariants,
+		Workers:      s.clampWorkers(req.Workers),
+		Engine:       opts,
+		Timeout:      time.Duration(req.TimeoutMS) * time.Millisecond,
+		NoCache:      req.NoCache,
+		IncludeCells: req.IncludeCells,
+	}
+
+	// Streaming: the success header is written lazily on the first cell.
+	// sweep.Run validates its whole configuration before scheduling any
+	// work, so every config error still gets a proper JSON error envelope;
+	// cancellation mid-stream just ends with a report marked incomplete.
+	var started bool
+	if req.Stream {
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		start := func() {
+			if !started {
+				started = true
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+			}
+		}
+		cfg.OnCell = func(c sweep.CellResult) {
+			start()
+			cj := c.JSON(net.Topo)
+			_ = enc.Encode(SweepStreamEvent{Cell: &cj})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		res, err := sweep.Run(r.Context(), net, cfg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+			return
+		}
+		start()
+		_ = enc.Encode(SweepStreamEvent{Report: &res.Report})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
+	}
+
+	res, err := sweep.Run(r.Context(), net, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Report)
 }
 
 func (s *Server) clampWorkers(workers int) int {

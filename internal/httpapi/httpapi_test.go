@@ -14,6 +14,7 @@ import (
 	"aalwines/internal/cli"
 	"aalwines/internal/gen"
 	"aalwines/internal/httpapi"
+	"aalwines/internal/sweep"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -837,5 +838,121 @@ func TestSessionLimit(t *testing.T) {
 	}
 	if sj := decodeBody[httpapi.SessionJSON](t, resp); sj.ID != fmt.Sprintf("s%d", 3) {
 		t.Errorf("id = %q, want s3 (closed ids are never reused)", sj.ID)
+	}
+}
+
+func postSweep(t *testing.T, ts *httptest.Server, network string, req httpapi.SweepRequest) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/api/v1/networks/"+network+"/sweep", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postSweep(t, ts, "running-example", httpapi.SweepRequest{
+		Depth: 2,
+		Invariants: []string{
+			"<ip> [.#v0] [v0#v2] .* [v3#.] <ip> 0",
+			"<ip> [.#v0] .* [v3#.] <ip> 0",
+		},
+		Workers:      2,
+		IncludeCells: true,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var rep sweep.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	// 8 links → 8 singles + 28 pairs, × 2 invariants.
+	if rep.Links != 8 || rep.Scenarios != 36 || rep.CellsTotal != 72 || rep.Incomplete {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Cells) != 72 {
+		t.Fatalf("cells embedded = %d, want 72", len(rep.Cells))
+	}
+	if len(rep.Invariants) != 2 || rep.Invariants[0].Breaking == 0 {
+		t.Fatalf("invariants = %+v", rep.Invariants)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	ts := newTestServer(t)
+	check := func(resp *http.Response, wantStatus int, wantCode string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		var env httpapi.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Code != wantCode {
+			t.Fatalf("code = %q, want %q", env.Code, wantCode)
+		}
+	}
+	inv := []string{"<ip> [.#v0] .* [v3#.] <ip> 0"}
+	check(postSweep(t, ts, "no-such-net", httpapi.SweepRequest{Invariants: inv}),
+		http.StatusNotFound, "not-found")
+	check(postSweep(t, ts, "running-example", httpapi.SweepRequest{}),
+		http.StatusBadRequest, "bad-request")
+	check(postSweep(t, ts, "running-example", httpapi.SweepRequest{Depth: 3, Invariants: inv}),
+		http.StatusBadRequest, "bad-request")
+	check(postSweep(t, ts, "running-example", httpapi.SweepRequest{Invariants: []string{"not a query"}}),
+		http.StatusBadRequest, "bad-request")
+	// Config errors must get a proper envelope in stream mode too: the
+	// success header is only written once the first cell lands.
+	check(postSweep(t, ts, "running-example", httpapi.SweepRequest{Depth: 3, Invariants: inv, Stream: true}),
+		http.StatusBadRequest, "bad-request")
+}
+
+func TestSweepStream(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postSweep(t, ts, "running-example", httpapi.SweepRequest{
+		Depth:      1,
+		Invariants: []string{"<ip> [.#v0] .* [v3#.] <ip> 0"},
+		Workers:    2,
+		Stream:     true,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var cells int
+	var report *sweep.Report
+	for {
+		var ev httpapi.SweepStreamEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case ev.Cell != nil && report == nil:
+			cells++
+		case ev.Report != nil && report == nil:
+			report = ev.Report
+		default:
+			t.Fatalf("unexpected event after report: %+v", ev)
+		}
+	}
+	if report == nil {
+		t.Fatal("stream ended without a report line")
+	}
+	// 8 single-link scenarios × 1 invariant.
+	if cells != 8 || report.CellsTotal != 8 || report.Incomplete {
+		t.Fatalf("streamed %d cells, report %+v", cells, report)
 	}
 }

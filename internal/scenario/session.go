@@ -174,6 +174,37 @@ func (s *Session) ApplyAll(ds []Delta) ([]int, error) {
 	return seqs, nil
 }
 
+// SetStack atomically replaces the whole delta stack: every delta is
+// validated against the base network before anything changes, then the old
+// stack is dropped, the new one pushed and the overlay rebuilt once, all
+// under one lock — a concurrent Verify sees the old stack or the new one,
+// never a mixture. It is the bulk analogue of ApplyAll+Undo for callers
+// that step between neighbouring what-if states (the resilience sweep
+// walks thousands of 1–2 delta stacks): per-router version hashes depend
+// only on the deltas touching the router, so routers shared between the
+// outgoing and incoming stacks keep their versions and the session cache's
+// rule blocks stay hot. On failure the stack is unchanged and the error is
+// an *ApplyError naming the offending delta.
+func (s *Session) SetStack(ds []Delta) ([]int, error) {
+	for i, d := range ds {
+		if err := d.validate(s.base); err != nil {
+			return nil, &ApplyError{Index: i, Cmd: d.Canon(), Err: err}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deltas = s.deltas[:0]
+	seqs := make([]int, len(ds))
+	for i, d := range ds {
+		seqs[i] = s.nextSeq
+		s.nextSeq++
+		s.deltas = append(s.deltas, AppliedDelta{Seq: seqs[i], Canon: d.Canon(), Delta: d})
+	}
+	s.refresh()
+	mDeltasApplied.Add(int64(len(ds)))
+	return seqs, nil
+}
+
 // ApplyAllText parses and atomically applies a batch of delta commands;
 // see ApplyAll.
 func (s *Session) ApplyAllText(cmds []string) ([]int, error) {

@@ -435,3 +435,75 @@ func TestMaterializeFreshIsDeepCopy(t *testing.T) {
 		}
 	}
 }
+
+// TestSetStack checks the atomic stack replacement the resilience sweep
+// steps with: any SetStack result must be indistinguishable (fingerprint,
+// routing content, differential verify) from a fresh session that ApplyAll'd
+// the same deltas, an empty stack serves the base network itself, and a
+// stack with an invalid delta is rejected wholesale.
+func TestSetStack(t *testing.T) {
+	re := gen.RunningExample()
+	queries := []string{
+		"<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0",
+		"<ip> [.#v0] .* [v3#.] <ip> 1",
+	}
+	stacks := [][]string{
+		{"fail v2.oe4#v3.ie4"},
+		{"fail v2.oe4#v3.ie4", "fail v2.oe5#v4.ie5"},
+		{"fail v2.oe5#v4.ie5"}, // shares no delta with the previous stack
+		{"drain v2"},
+		{},
+		{"fail v0.oe2#v1.ie2", "drain v4"},
+	}
+	s := NewSession(re.Network)
+	defer s.Close()
+	for _, stack := range stacks {
+		ds := make([]Delta, len(stack))
+		for i, cmd := range stack {
+			d, err := ParseDelta(cmd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds[i] = d
+		}
+		if _, err := s.SetStack(ds); err != nil {
+			t.Fatalf("SetStack(%v): %v", stack, err)
+		}
+		if got := s.Deltas(); len(got) != len(ds) {
+			t.Fatalf("stack depth %d after SetStack(%v)", len(got), stack)
+		}
+		ref := NewSession(re.Network)
+		if _, err := ref.ApplyAll(ds); err != nil {
+			t.Fatal(err)
+		}
+		if s.Fingerprint() != ref.Fingerprint() {
+			t.Fatalf("SetStack(%v) fingerprint %x, fresh ApplyAll %x",
+				stack, s.Fingerprint(), ref.Fingerprint())
+		}
+		ref.Close()
+		if len(ds) == 0 && s.Overlay() != re.Network {
+			t.Fatal("empty SetStack must serve the base network itself")
+		}
+		checkDifferential(t, s, queries)
+	}
+
+	// Rejection is atomic: the whole stack is validated before anything is
+	// dropped, so the session keeps its current stack on error.
+	if _, err := s.SetStack([]Delta{{Kind: FailLink, Link: "v2.oe4#v3.ie4"}}); err != nil {
+		t.Fatal(err)
+	}
+	fpBefore := s.Fingerprint()
+	bad := []Delta{
+		{Kind: FailLink, Link: "v2.oe5#v4.ie5"},
+		{Kind: FailLink, Link: "nosuch#link"},
+	}
+	_, err := s.SetStack(bad)
+	var ae *ApplyError
+	if !errors.As(err, &ae) || ae.Index != 1 {
+		t.Fatalf("SetStack with invalid delta: err %v, want *ApplyError at index 1", err)
+	}
+	if s.Fingerprint() != fpBefore || len(s.Deltas()) != 1 {
+		t.Fatal("failed SetStack must leave the session unchanged")
+	}
+	checkDifferential(t, s, queries[:1])
+}
