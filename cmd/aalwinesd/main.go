@@ -65,6 +65,7 @@ func run() error {
 	listen := flag.String("listen", ":8080", "listen address")
 	budget := flag.Int64("max-budget", 200_000_000, "per-request saturation budget (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "worker cap for /api/verify-batch requests (0 = GOMAXPROCS)")
+	satJ := flag.Int("sat-j", 0, "saturation workers per verification (0/1 = serial; byte-identical results)")
 	debugAddr := flag.String("debug-addr", "", "debug listener for /metrics, /debug/vars and /debug/pprof/* (empty = disabled)")
 	flag.Parse()
 
@@ -75,6 +76,7 @@ func run() error {
 	srv := httpapi.NewServer()
 	srv.MaxBudget = *budget
 	srv.Parallel = *parallel
+	srv.SatJ = *satJ
 
 	// The builtin network always loads; XML files add a second network.
 	builtinOnly := nf

@@ -36,6 +36,8 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the ablation benches")
 	benchVerify := flag.Bool("bench-verify", false, "run the canonical verification benchmark")
 	benchLadder := flag.Bool("bench-ladder", false, "run the scaled benchmark ladder (one BENCH_verify_<workload>.json per rung)")
+	checkLadder := flag.Bool("check-ladder", false, "re-run the ladder and gate it against the committed baselines in -ladder-dir (no files written)")
+	ladderTol := flag.Float64("ladder-tol", 0.15, "relative mean-latency tolerance for -check-ladder (0 disables the timing gate)")
 	benchScenario := flag.Bool("bench-scenario", false, "run the what-if session benchmark (rule-block reuse vs from-scratch)")
 	benchSweep := flag.Bool("bench-sweep", false, "run the resilience-sweep benchmark (full single+double failure space)")
 	ladderDir := flag.String("ladder-dir", ".", "output directory for -bench-ladder")
@@ -57,6 +59,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	budget := flag.Int64("budget", 50_000_000, "saturation work budget (timeout analogue, 0 = unlimited)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for the Figure 4 sweep (1 = sequential, best timing fidelity)")
+	satJ := flag.Int("sat-j", 0, "saturation workers per query for -bench-verify/-bench-ladder/-check-ladder (0/1 = serial)")
 	flag.Parse()
 
 	if *validate != "" {
@@ -84,12 +87,23 @@ func main() {
 		fmt.Printf("%s: valid (%s)\n", *validate, schema)
 		return
 	}
-	if !*table1 && !*figure4 && !*ablation && !*benchVerify && !*benchLadder && !*benchScenario && !*benchSweep {
-		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify, -bench-ladder, -bench-scenario, -bench-sweep")
+	if !*table1 && !*figure4 && !*ablation && !*benchVerify && !*benchLadder && !*checkLadder && !*benchScenario && !*benchSweep {
+		fmt.Fprintln(os.Stderr, "benchrunner: pass at least one of -table1, -figure4, -ablation, -bench-verify, -bench-ladder, -check-ladder, -bench-scenario, -bench-sweep")
 		os.Exit(2)
 	}
+	if *checkLadder {
+		lines, err := experiments.CheckBenchLadder(*ladderDir, *parallel, *satJ, *ladderTol)
+		fmt.Printf("== Bench ladder regression gate (tol %.0f%%, sat-j %d) ==\n", *ladderTol*100, *satJ)
+		for _, l := range lines {
+			fmt.Println("  ", l)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+	}
 	if *benchLadder {
-		paths, reps, err := experiments.RunBenchLadder(*ladderDir, *parallel)
+		paths, reps, err := experiments.RunBenchLadder(*ladderDir, *parallel, *satJ)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
@@ -111,7 +125,7 @@ func main() {
 	if *benchVerify {
 		rep, err := experiments.BenchVerify(experiments.BenchVerifyConfig{
 			Network: *benchNet, Repeat: *repeat, Workers: *parallel,
-			Budget: *budget, Seed: *seed,
+			SatJ: *satJ, Budget: *budget, Seed: *seed,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)

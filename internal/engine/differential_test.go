@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -204,6 +205,95 @@ func TestDifferentialEarlyAccept(t *testing.T) {
 		t.Error("pds_early_accept_total did not move: corpus never exercised the fast path")
 	} else {
 		t.Logf("early accept fired %d times across %d combinations", d, len(cases))
+	}
+}
+
+// TestDifferentialParallelSaturation runs the whole corpus with parallel
+// saturation at several worker counts and demands byte-identical
+// serialised results against fresh serial runs — unweighted and weighted.
+// GOMAXPROCS is raised so the sharded path engages on single-CPU runners,
+// and the pds_parallel_runs_total counter must move to prove it did.
+func TestDifferentialParallelSaturation(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	cases := diffCorpus(t)
+	spec := weight.Spec{{{Coeff: 1, Q: weight.Hops}}}
+	par0 := obs.GetCounter("pds_parallel_runs_total").Value()
+	for _, c := range cases {
+		q, err := query.Parse(c.text, c.net)
+		if err != nil {
+			t.Fatalf("%s %q: %v", c.net.Name, c.text, err)
+		}
+		serial, err := engine.Verify(c.net, q, engine.Options{})
+		if err != nil {
+			t.Fatalf("%s %q: serial: %v", c.net.Name, c.text, err)
+		}
+		want := marshalResult(t, serial)
+		for _, j := range []int{2, 4, 8} {
+			par, err := engine.Verify(c.net, q, engine.Options{SatJ: j})
+			if err != nil {
+				t.Fatalf("%s %q: sat-j=%d: %v", c.net.Name, c.text, j, err)
+			}
+			if got := marshalResult(t, par); !bytes.Equal(got, want) {
+				t.Errorf("%s %q (k=%d): sat-j=%d differs from serial\npar:    %s\nserial: %s",
+					c.net.Name, c.text, c.k, j, got, want)
+			}
+		}
+		wserial, err := engine.Verify(c.net, q, engine.Options{Spec: spec})
+		if err != nil {
+			t.Fatalf("%s %q: weighted serial: %v", c.net.Name, c.text, err)
+		}
+		wpar, err := engine.Verify(c.net, q, engine.Options{Spec: spec, SatJ: 4})
+		if err != nil {
+			t.Fatalf("%s %q: weighted sat-j=4: %v", c.net.Name, c.text, err)
+		}
+		if got, want := marshalResult(t, wpar), marshalResult(t, wserial); !bytes.Equal(got, want) {
+			t.Errorf("%s %q (k=%d): weighted sat-j=4 differs from serial\npar:    %s\nserial: %s",
+				c.net.Name, c.text, c.k, got, want)
+		}
+	}
+	if d := obs.GetCounter("pds_parallel_runs_total").Value() - par0; d == 0 {
+		t.Error("pds_parallel_runs_total did not move: corpus never exercised the parallel path")
+	} else {
+		t.Logf("parallel saturation ran %d times across %d combinations", d, len(cases))
+	}
+}
+
+// TestDifferentialSlice runs the whole corpus with query-scoped slicing on
+// (the default) and off, demanding byte-identical serialised results. The
+// slice counters must move to prove slicing actually engaged.
+func TestDifferentialSlice(t *testing.T) {
+	cases := diffCorpus(t)
+	kept0 := obs.GetCounter("translate_slice_routers_kept_total").Value()
+	for _, c := range cases {
+		q, err := query.Parse(c.text, c.net)
+		if err != nil {
+			t.Fatalf("%s %q: %v", c.net.Name, c.text, err)
+		}
+		sliced, err := engine.Verify(c.net, q, engine.Options{})
+		if err != nil {
+			t.Fatalf("%s %q: sliced: %v", c.net.Name, c.text, err)
+		}
+		full, err := engine.Verify(c.net, q, engine.Options{NoSlice: true})
+		if err != nil {
+			t.Fatalf("%s %q: unsliced: %v", c.net.Name, c.text, err)
+		}
+		if got, want := marshalResult(t, sliced), marshalResult(t, full); !bytes.Equal(got, want) {
+			t.Errorf("%s %q (k=%d): sliced result differs from unsliced\nsliced: %s\nfull:   %s",
+				c.net.Name, c.text, c.k, got, want)
+		}
+		if !sliced.Stats.Slice.Active {
+			t.Errorf("%s %q: default run reports inactive slice", c.net.Name, c.text)
+		}
+		if full.Stats.Slice.Active {
+			t.Errorf("%s %q: NoSlice run reports an active slice", c.net.Name, c.text)
+		}
+		if got, want := sliced.Stats.OverRules, full.Stats.OverRules; got > want {
+			t.Errorf("%s %q: sliced build has more rules (%d > %d)", c.net.Name, c.text, got, want)
+		}
+	}
+	if obs.GetCounter("translate_slice_routers_kept_total").Value() == kept0 {
+		t.Error("translate_slice_routers_kept_total did not move")
 	}
 }
 

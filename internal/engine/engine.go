@@ -100,6 +100,16 @@ type Options struct {
 	// fixed point only if validation fails; verdicts are identical either
 	// way, only the work differs.
 	NoEarlyAccept bool
+	// SatJ sets the saturation parallelism (pds.SatOptions.Parallelism) of
+	// the default backend: values > 1 run post* rule matching on that many
+	// workers, clamped to GOMAXPROCS, with results byte-identical to the
+	// serial engine. 0 or 1 is serial; a Saturate override ignores it.
+	SatJ int
+	// NoSlice disables query-scoped network slicing (ablation). By default
+	// the translator emits rules only for the part of the network the
+	// query's endpoints can reach (translate.Options.Slice); results are
+	// byte-identical either way, only build work and rule counts differ.
+	NoSlice bool
 	// Saturate overrides the saturation backend (nil = pds.PoststarBudget).
 	Saturate Saturator
 	// Cache, when non-nil and bound to the verified network, memoizes
@@ -124,7 +134,12 @@ type Stats struct {
 	// EarlyAccepted reports that the over-approximation saturation stopped
 	// at the early-accept check rather than the fixed point. TransOver then
 	// counts the partial automaton unless a fallback re-saturation ran.
-	EarlyAccepted   bool
+	EarlyAccepted bool
+	// Slice reports the query-scoped network slice the over-approximation
+	// was built under; Slice.Active is false when slicing was disabled or
+	// skipped (incremental session builds, Dist-override builds through a
+	// SessionCache).
+	Slice           translate.SliceStats
 	BuildTime       time.Duration
 	OverTime        time.Duration
 	UnderTime       time.Duration
@@ -186,7 +201,12 @@ func verifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts O
 	if sat == nil {
 		stop := ctx.Done()
 		sat = func(p *pds.PDS, init *pds.Auto, dim int, budget int64) (*pds.Result, error) {
-			return pds.PoststarStop(p, init, dim, budget, stop)
+			return pds.PoststarOpts(p, init, pds.SatOptions{
+				Dim:         dim,
+				Budget:      budget,
+				Stop:        stop,
+				Parallelism: opts.SatJ,
+			})
 		}
 	}
 	build := func(mode translate.Mode) (*translate.System, *pds.Auto) {
@@ -195,6 +215,7 @@ func verifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts O
 			Spec:         opts.Spec,
 			Dist:         opts.Dist,
 			NoReductions: opts.NoReductions,
+			Slice:        !opts.NoSlice,
 		}
 		if opts.Cache != nil && opts.Cache.Net() == net {
 			return opts.Cache.Get(q, topts)
@@ -213,6 +234,7 @@ func verifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts O
 	res.Stats.BuildTime = time.Since(t0)
 	res.Stats.OverRules = len(over.PDS.Rules)
 	res.Stats.OverRulesPre = over.RulesBeforeReduction
+	res.Stats.Slice = over.SliceStats
 
 	// Early-accept applies to unweighted runs on the default backend: the
 	// saturation stops as soon as an accepting configuration is reachable,
@@ -229,6 +251,7 @@ func verifyCtx(ctx context.Context, net *network.Network, q *query.Query, opts O
 			EarlyAccept: true,
 			FinalStates: over.FinalStates,
 			FinalSpec:   over.FinalSpec,
+			Parallelism: opts.SatJ,
 		})
 	} else {
 		overRes, err = sat(over.PDS, overInit, over.Dim, opts.Budget)

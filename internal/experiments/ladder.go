@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Bench-ladder regression gate. CI re-runs every rung of the ladder and
+// compares the fresh report against the committed BENCH_verify_<name>.json
+// baseline. Two classes of check apply per rung:
+//
+//   - determinism: the verdict histogram and the saturation work counters
+//     (pops, pushes, inserted transitions, early accepts, index probes)
+//     must match the baseline EXACTLY. These are bit-reproducible for a
+//     fixed (network, seed, budget) workload — the engine's results are
+//     byte-identical across saturation parallelism and slicing — so any
+//     drift is a real behaviour change, not noise.
+//   - timing: the fresh mean per-query latency must stay within tol
+//     (default 15%) of the baseline, with a small absolute grace so
+//     sub-millisecond rungs don't flake on scheduler jitter.
+//
+// A legitimate perf or behaviour change regenerates the baselines with
+// `benchrunner -bench-ladder` and commits the new files.
+
+// ladderGraceMS is the absolute latency slack added on top of the relative
+// tolerance; CI runners share cores, and the smallest rung's mean is well
+// under a millisecond.
+const ladderGraceMS = 0.25
+
+// CompareBenchVerify checks a freshly measured report against a committed
+// baseline of the same workload. tol is the relative mean-latency
+// tolerance (0.15 = +15%); tol <= 0 skips the timing check.
+func CompareBenchVerify(base, fresh *BenchVerifyReport, tol float64) error {
+	if base.Network != fresh.Network || base.Queries != fresh.Queries ||
+		base.Repeat != fresh.Repeat || base.Seed != fresh.Seed || base.Budget != fresh.Budget {
+		return fmt.Errorf("workload mismatch: baseline (net=%s q=%d r=%d seed=%d budget=%d), fresh (net=%s q=%d r=%d seed=%d budget=%d)",
+			base.Network, base.Queries, base.Repeat, base.Seed, base.Budget,
+			fresh.Network, fresh.Queries, fresh.Repeat, fresh.Seed, fresh.Budget)
+	}
+	if fresh.Errors != 0 {
+		return fmt.Errorf("%d verification errors", fresh.Errors)
+	}
+	for _, v := range []string{"unsatisfied", "satisfied", "inconclusive"} {
+		if base.Verdicts[v] != fresh.Verdicts[v] {
+			return fmt.Errorf("verdict drift: %s=%d, baseline %d", v, fresh.Verdicts[v], base.Verdicts[v])
+		}
+	}
+	bs, fs := base.Saturation, fresh.Saturation
+	exact := []struct {
+		name       string
+		base, have int64
+	}{
+		{"saturation runs", bs.Runs, fs.Runs},
+		{"worklist pops", bs.WorklistPops, fs.WorklistPops},
+		{"worklist pushes", bs.WorklistPushes, fs.WorklistPushes},
+		{"transitions inserted", bs.TransInserted, fs.TransInserted},
+		{"early accepts", bs.EarlyAccepts, fs.EarlyAccepts},
+		{"index probes", bs.IndexProbes, fs.IndexProbes},
+	}
+	for _, c := range exact {
+		if c.base != c.have {
+			return fmt.Errorf("work drift: %s=%d, baseline %d", c.name, c.have, c.base)
+		}
+	}
+	if tol > 0 {
+		limit := base.LatencyMS.Mean*(1+tol) + ladderGraceMS
+		if fresh.LatencyMS.Mean > limit {
+			return fmt.Errorf("latency regression: mean %.3fms exceeds baseline %.3fms +%d%% (+%.2fms grace = %.3fms)",
+				fresh.LatencyMS.Mean, base.LatencyMS.Mean, int(tol*100), ladderGraceMS, limit)
+		}
+	}
+	return nil
+}
+
+// CheckBenchLadder re-runs every ladder rung and gates it against the
+// committed baselines in dir, without touching the baseline files. It
+// returns one human-readable summary line per rung; the error aggregates
+// every rung that failed its gate.
+func CheckBenchLadder(dir string, workers, satJ int, tol float64) ([]string, error) {
+	var lines []string
+	var failures []string
+	for _, rung := range BenchLadder() {
+		path := filepath.Join(dir, "BENCH_verify_"+rung.Name+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return lines, fmt.Errorf("ladder baseline %s: %w", path, err)
+		}
+		base, err := ReadBenchVerify(data)
+		if err != nil {
+			return lines, fmt.Errorf("ladder baseline %s: %w", path, err)
+		}
+		cfg := rung.Cfg
+		cfg.Workers = workers
+		cfg.SatJ = satJ
+		fresh, err := BenchVerify(cfg)
+		if err != nil {
+			return lines, fmt.Errorf("ladder rung %s: %w", rung.Name, err)
+		}
+		if cerr := CompareBenchVerify(base, fresh, tol); cerr != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", rung.Name, cerr))
+			lines = append(lines, fmt.Sprintf("%-16s FAIL  %v", rung.Name, cerr))
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%-16s ok    mean=%.3fms (baseline %.3fms)  pops=%d",
+			rung.Name, fresh.LatencyMS.Mean, base.LatencyMS.Mean, fresh.Saturation.WorklistPops))
+	}
+	if len(failures) > 0 {
+		return lines, fmt.Errorf("ladder regression gate: %d rung(s) failed:\n  %s",
+			len(failures), joinLines(failures))
+	}
+	return lines, nil
+}
+
+// ReadBenchVerify validates and parses a BENCH_verify document.
+func ReadBenchVerify(data []byte) (*BenchVerifyReport, error) {
+	if err := ValidateBenchVerify(data); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	rep := new(BenchVerifyReport)
+	if err := dec.Decode(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}

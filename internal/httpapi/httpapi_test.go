@@ -357,6 +357,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pds_index_probes_total{alg=\"poststar\"}",
 		"pds_pool_hits_total",
 		"pds_pool_misses_total",
+		"pds_parallel_runs_total",
+		"pds_shard_steals_total",
+		"translate_slice_routers_kept_total",
+		"translate_slice_routers_dropped_total",
 		"engine_early_accept_fallback_total",
 		"translate_cache_gets_total{network=\"running-example\"}",
 		"batch_query_seconds_count",
@@ -370,6 +374,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	// batch alone guarantees non-zero pops and cache gets.
 	if strings.Contains(body, "pds_worklist_pops_total{alg=\"poststar\"} 0\n") {
 		t.Error("poststar pops counter is zero after a batch")
+	}
+	// Slicing is on by default in the engine, so the slice router counter
+	// must have moved too.
+	if strings.Contains(body, "translate_slice_routers_kept_total 0\n") {
+		t.Error("slice routers-kept counter is zero after a batch")
 	}
 }
 

@@ -1,0 +1,174 @@
+package pds_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"aalwines/internal/obs"
+	"aalwines/internal/pds"
+)
+
+// The parallel saturation path promises byte-identical results to the
+// serial engine: same transitions in the same per-state order, same
+// weights, same witness structure, same early-accept stopping point. These
+// tests enforce that promise over the real translated corpus (the paper's
+// running example and the zoo-scale synthetic WAN) at several worker
+// counts. GOMAXPROCS is raised for the duration so the sharded path
+// actually engages on single-CPU CI runners (runParallel clamps to
+// GOMAXPROCS and falls back to serial below 2).
+
+// dumpResult renders the complete observable state of a saturation result:
+// per-state edge lists in insertion order with weights, accept flags, and
+// the full recursive witness derivation of every edge. Two results with
+// equal dumps are byte-identical for every downstream consumer
+// (FindAccepting, Reconstruct, trace decoding).
+func dumpResult(r *pds.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dim=%d early=%v states=%d trans=%d\n",
+		r.Dim, r.EarlyAccepted, r.Auto.NumStates(), r.Auto.NumTrans())
+	for s := 0; s < r.Auto.NumStates(); s++ {
+		fmt.Fprintf(&b, "s%d accept=%v\n", s, r.Auto.Accepting(pds.State(s)))
+		for i, e := range r.Auto.Out(pds.State(s)) {
+			fmt.Fprintf(&b, "  e%d sym=%d to=%d w=%v wit=", i, e.Sym, e.To, e.Weight)
+			dumpWitness(&b, e.Wit)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func dumpWitness(b *strings.Builder, w *pds.Witness) {
+	if w == nil {
+		b.WriteString("nil")
+		return
+	}
+	fmt.Fprintf(b, "{k=%d r=%d t=%d/%d/%d ps=%d w=%v p1=",
+		w.Kind, w.Rule, w.T.From, w.T.Sym, w.T.To, w.PredSym, w.Weight)
+	dumpWitness(b, w.Pred1)
+	b.WriteString(" p2=")
+	dumpWitness(b, w.Pred2)
+	b.WriteByte('}')
+}
+
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func counterValue(name string) int64 {
+	return obs.Default.Snapshot().Counters[name]
+}
+
+func TestParallelPoststarByteIdentical(t *testing.T) {
+	withProcs(t, 8)
+	for _, netName := range []string{"running-example", "zoo"} {
+		t.Run(netName, func(t *testing.T) {
+			for _, c := range buildCases(t, netName) {
+				serial, err := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), pds.SatOptions{Dim: c.sys.Dim})
+				if err != nil {
+					t.Fatalf("%s: serial: %v", c.name, err)
+				}
+				want := dumpResult(serial)
+				for _, j := range []int{2, 4, 8} {
+					before := counterValue("pds_parallel_runs_total")
+					par, err := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), pds.SatOptions{
+						Dim: c.sys.Dim, Parallelism: j,
+					})
+					if err != nil {
+						t.Fatalf("%s: parallel j=%d: %v", c.name, j, err)
+					}
+					if got := dumpResult(par); got != want {
+						t.Fatalf("%s: parallel j=%d diverges from serial (dump lengths %d vs %d)",
+							c.name, j, len(got), len(want))
+					}
+					if after := counterValue("pds_parallel_runs_total"); after != before+1 {
+						t.Fatalf("%s: pds_parallel_runs_total %d -> %d, want +1", c.name, before, after)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPoststarEarlyAccept pins the early-accept stopping point:
+// a parallel run must stop at the same pop as the serial run and leave the
+// identical partial automaton behind.
+func TestParallelPoststarEarlyAccept(t *testing.T) {
+	withProcs(t, 4)
+	for _, c := range buildCases(t, "zoo") {
+		opts := pds.SatOptions{
+			Dim:         c.sys.Dim,
+			EarlyAccept: true,
+			FinalStates: c.sys.FinalStates,
+			FinalSpec:   c.sys.FinalSpec,
+		}
+		serial, err := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), opts)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", c.name, err)
+		}
+		popts := opts
+		popts.Parallelism = 4
+		par, err := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), popts)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", c.name, err)
+		}
+		if serial.EarlyAccepted != par.EarlyAccepted {
+			t.Fatalf("%s: EarlyAccepted %v (serial) vs %v (parallel)",
+				c.name, serial.EarlyAccepted, par.EarlyAccepted)
+		}
+		if want, got := dumpResult(serial), dumpResult(par); got != want {
+			t.Fatalf("%s: early-accept parallel run diverges from serial", c.name)
+		}
+	}
+}
+
+// TestParallelPoststarBudget pins budget accounting: the parallel run must
+// exhaust an undersized budget at exactly the same pop as the serial run.
+func TestParallelPoststarBudget(t *testing.T) {
+	withProcs(t, 4)
+	c := buildCases(t, "zoo")[0]
+	full, err := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), pds.SatOptions{Dim: c.sys.Dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Auto.NumTrans() < 10 {
+		t.Skip("workload too small to truncate")
+	}
+	budget := int64(full.Auto.NumTrans() / 2)
+	_, serr := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), pds.SatOptions{Dim: c.sys.Dim, Budget: budget})
+	_, perr := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), pds.SatOptions{
+		Dim: c.sys.Dim, Budget: budget, Parallelism: 4,
+	})
+	if serr != perr {
+		t.Fatalf("budget outcomes differ: serial %v, parallel %v", serr, perr)
+	}
+	if serr == nil {
+		t.Fatalf("expected ErrBudget for truncated budget %d", budget)
+	}
+}
+
+// TestParallelPoststarSerialFallback checks the GOMAXPROCS clamp: at
+// GOMAXPROCS=1, Parallelism > 1 must silently take the serial path (and
+// not count as a parallel run).
+func TestParallelPoststarSerialFallback(t *testing.T) {
+	withProcs(t, 1)
+	c := buildCases(t, "running-example")[0]
+	before := counterValue("pds_parallel_runs_total")
+	serial, err := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), pds.SatOptions{Dim: c.sys.Dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pds.PoststarOpts(c.sys.PDS, c.init.Clone(), pds.SatOptions{Dim: c.sys.Dim, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counterValue("pds_parallel_runs_total") != before {
+		t.Fatal("clamped run still counted as parallel")
+	}
+	if dumpResult(par) != dumpResult(serial) {
+		t.Fatal("clamped parallel run diverges from serial")
+	}
+}

@@ -24,7 +24,9 @@ type Result struct {
 	EarlyAccepted bool
 }
 
-// SatOptions bundles the optional controls of a post* run.
+// SatOptions bundles the optional controls of a saturation run. Post*
+// honours every field; pre* (PrestarOpts) honours Dim=0 runs with Budget
+// and Stop and ignores the early-accept fields.
 type SatOptions struct {
 	// Dim is the weight vector dimension (0 = unweighted).
 	Dim int
@@ -46,6 +48,15 @@ type SatOptions struct {
 	// FinalStates/FinalSpec).
 	FinalStates []State
 	FinalSpec   *nfa.NFA
+	// Parallelism > 1 enables the sharded speculative rule-matching path:
+	// the worklist is processed in rounds, each round's pending pops are
+	// partitioned by a hash of their packed (state, symbol) pair across
+	// that many matcher workers (with work-stealing between shards), and
+	// the commit pass replays the exact serial mutation sequence using the
+	// precomputed match lists. The Result — witnesses, weights, transition
+	// order, early-accept point — is byte-identical to a serial run; see
+	// DESIGN.md §11 for why the commit pass must stay sequential.
+	Parallelism int
 }
 
 // Poststar computes post*(L(init)): the saturated automaton accepts exactly
@@ -101,224 +112,292 @@ const (
 	firstCheck = 64
 )
 
+// postRun is the mutable state of one post* saturation. The serial and
+// parallel drivers share it: both drain the same worklist with the same
+// pop body (process) and the same cooperative checkpoint (beat), so the
+// mutation sequence — and hence the resulting automaton, witnesses and
+// obs tallies — is identical between them by construction.
+type postRun struct {
+	p     *PDS
+	a     *Auto
+	o     SatOptions
+	dim   int
+	tally satTally
+	sc    *satScratch
+
+	queue []edgeRef
+	head  int
+
+	wts  weightArena
+	wits witArena
+
+	// mid states q_{p′,γ′}, one per (ToState, Sym1) of push rules.
+	mids map[[2]uint32]State
+
+	// epsInto[q] lists the sources of ε-transitions into q; indexed by
+	// state, with lazy growth for the mid states added during the run.
+	epsInto [][]State
+
+	earlyOK    bool
+	specStarts []int
+
+	work      int64
+	nextCheck int64
+}
+
 // PoststarOpts is Poststar with all optional controls.
 func PoststarOpts(p *PDS, init *Auto, o SatOptions) (*Result, error) {
 	if err := init.Validate(); err != nil {
 		return nil, err
 	}
-	dim, budget, stop := o.Dim, o.Budget, o.Stop
-	a := init
-	var tally satTally
-	sc := getScratch()
-	queue, head := sc.queue[:0], 0
+	r := &postRun{p: p, a: init, o: o, dim: o.Dim, sc: getScratch(), nextCheck: firstCheck}
+	r.queue, r.head = r.sc.queue[:0], 0
 	defer func() {
-		sc.queue = queue
-		putScratch(sc)
-		tally.probes += a.takeProbes()
-		tally.flushPost()
+		r.sc.queue = r.queue
+		putScratch(r.sc)
+		r.tally.probes += r.a.takeProbes()
+		r.tally.flushPost()
 	}()
-	var wts weightArena
-	var wits witArena
-	one := func() []uint64 {
-		if dim == 0 {
-			return nil
-		}
-		return wts.zero(dim)
-	}
-	a.NormalizeWeights(dim)
+	r.a.NormalizeWeights(r.dim)
+	r.mids = map[[2]uint32]State{}
 
-	// mid states q_{p′,γ′}, one per (ToState, Sym1) of push rules.
-	mids := map[[2]uint32]State{}
-	midOf := func(s State, g Sym) State {
-		k := [2]uint32{uint32(s), uint32(g)}
-		if m, ok := mids[k]; ok {
-			return m
-		}
-		m := a.AddState()
-		mids[k] = m
-		return m
-	}
-
-	enqueue := func(from State, ei int32) {
-		se := &a.states[from]
-		if se.meta[ei].flags&fQueued == 0 {
-			se.meta[ei].flags |= fQueued
-			queue = append(queue, edgeRef{from, ei})
-			tally.notePush(len(queue) - head)
-		}
-	}
-	// push inserts (or improves) a transition and, on change, materialises
-	// its witness record and puts the edge on the worklist. Deferring the
-	// record to after the insert decision is the main allocation win: most
-	// derivations re-derive an existing transition.
-	push := func(t Trans, w []uint64, kind WitKind, rule int32, predSym Sym, p1, p2 *Witness) {
-		i, changed := a.upsert(t, w)
-		if !changed {
-			return
-		}
-		tally.inserted++
-		a.states[t.From].edges[i].Wit = wits.new(Witness{
-			Kind: kind, Rule: rule, T: t, PredSym: predSym, Pred1: p1, Pred2: p2, Weight: w,
-		})
-		enqueue(t.From, i)
-	}
 	// Seed the worklist with every initial transition.
-	for s := 0; s < a.NumStates(); s++ {
-		for i := range a.states[s].edges {
-			enqueue(State(s), int32(i))
+	for s := 0; s < r.a.NumStates(); s++ {
+		for i := range r.a.states[s].edges {
+			r.enqueue(State(s), int32(i))
 		}
 	}
+	r.epsInto = r.sc.epsIntoFor(r.a.NumStates())
 
-	// epsInto[q] lists the sources of ε-transitions into q; indexed by
-	// state, with lazy growth for the mid states added during the run.
-	epsInto := sc.epsIntoFor(a.NumStates())
-	epsAppend := func(to, src State) {
-		for int(to) >= len(epsInto) {
-			epsInto = append(epsInto, nil)
+	r.earlyOK = o.EarlyAccept && r.dim == 0 && o.FinalSpec != nil && len(o.FinalStates) > 0
+	if r.earlyOK {
+		r.specStarts = o.FinalSpec.EpsClosure(o.FinalSpec.Start())
+		if acceptReachable(r.a, o.FinalStates, r.specStarts, o.FinalSpec, r.sc) {
+			r.tally.earlyAccepts = 1
+			return r.finish(true), nil
 		}
-		epsInto[to] = append(epsInto[to], src)
 	}
-	epsOf := func(s State) []State {
-		if int(s) < len(epsInto) {
-			return epsInto[s]
+	if o.Parallelism > 1 {
+		return r.runParallel(o.Parallelism)
+	}
+	return r.runSerial()
+}
+
+// runSerial drains the worklist one pop at a time.
+func (r *postRun) runSerial() (*Result, error) {
+	for r.head < len(r.queue) {
+		if res, err, done := r.beat(); done {
+			return res, err
 		}
+		r.process(r.pop(), nil, 0, false)
+	}
+	r.tally.pops = r.work
+	return r.finish(false), nil
+}
+
+// beat is the per-pop cooperative checkpoint: budget accounting, the
+// stop-channel poll and the early-accept probe at the doubling cadence.
+// done=true means the run ends here with (res, err).
+func (r *postRun) beat() (*Result, error, bool) {
+	if r.work++; r.o.Budget > 0 && r.work > r.o.Budget {
+		r.tally.pops = r.work
+		budgetExhausted.Inc()
+		return nil, ErrBudget, true
+	}
+	if r.work == r.nextCheck {
+		if r.nextCheck < checkEvery {
+			r.nextCheck *= 2
+		} else {
+			r.nextCheck += checkEvery
+		}
+		if r.o.Stop != nil {
+			select {
+			case <-r.o.Stop:
+				r.tally.pops = r.work
+				satStopped.Inc()
+				return nil, ErrStopped, true
+			default:
+			}
+		}
+		if r.earlyOK && acceptReachable(r.a, r.o.FinalStates, r.specStarts, r.o.FinalSpec, r.sc) {
+			r.tally.pops = r.work
+			r.tally.earlyAccepts = 1
+			return r.finish(true), nil, true
+		}
+	}
+	return nil, nil, false
+}
+
+// pop removes the worklist head, compacting the backing array once the
+// drained prefix dominates it (the old slice-off-the-front worklist
+// retained and repeatedly recopied the whole array).
+func (r *postRun) pop() edgeRef {
+	ref := r.queue[r.head]
+	r.head++
+	if r.head == len(r.queue) {
+		r.queue, r.head = r.queue[:0], 0
+	} else if r.head >= 4096 && r.head*2 >= len(r.queue) {
+		n := copy(r.queue, r.queue[r.head:])
+		r.queue, r.head = r.queue[:n], 0
+	}
+	return ref
+}
+
+func (r *postRun) enqueue(from State, ei int32) {
+	se := &r.a.states[from]
+	if se.meta[ei].flags&fQueued == 0 {
+		se.meta[ei].flags |= fQueued
+		r.queue = append(r.queue, edgeRef{from, ei})
+		r.tally.notePush(len(r.queue) - r.head)
+	}
+}
+
+// push inserts (or improves) a transition and, on change, materialises
+// its witness record and puts the edge on the worklist. Deferring the
+// record to after the insert decision is the main allocation win: most
+// derivations re-derive an existing transition.
+func (r *postRun) push(t Trans, w []uint64, kind WitKind, rule int32, predSym Sym, p1, p2 *Witness) {
+	i, changed := r.a.upsert(t, w)
+	if !changed {
+		return
+	}
+	r.tally.inserted++
+	r.a.states[t.From].edges[i].Wit = r.wits.new(Witness{
+		Kind: kind, Rule: rule, T: t, PredSym: predSym, Pred1: p1, Pred2: p2, Weight: w,
+	})
+	r.enqueue(t.From, i)
+}
+
+func (r *postRun) one() []uint64 {
+	if r.dim == 0 {
 		return nil
 	}
+	return r.wts.zero(r.dim)
+}
 
-	// applyRules fires every PDS rule matching transition t (whose source
-	// is a control state) given its current weight and witness record.
-	applyRules := func(t Trans, w []uint64, rec *Witness) {
-		apply := func(ri int32) {
-			r := &p.Rules[ri]
-			nw := wts.add(w, ruleWeight(r, dim))
-			switch r.Kind {
-			case PopRule:
-				push(Trans{r.ToState, Eps, t.To}, nw, WitRule, ri, r.FromSym, rec, nil)
-			case SwapRule:
-				push(Trans{r.ToState, r.Sym1, t.To}, nw, WitRule, ri, r.FromSym, rec, nil)
-			case PushRule:
-				mid := midOf(r.ToState, r.Sym1)
-				push(Trans{r.ToState, r.Sym1, mid}, one(), WitRule, ri, r.FromSym, rec, nil)
-				push(Trans{mid, r.Sym2, t.To}, nw, WitPushB, ri, r.FromSym, rec, nil)
+func (r *postRun) midOf(s State, g Sym) State {
+	k := [2]uint32{uint32(s), uint32(g)}
+	if m, ok := r.mids[k]; ok {
+		return m
+	}
+	m := r.a.AddState()
+	r.mids[k] = m
+	return m
+}
+
+func (r *postRun) epsAppend(to, src State) {
+	for int(to) >= len(r.epsInto) {
+		r.epsInto = append(r.epsInto, nil)
+	}
+	r.epsInto[to] = append(r.epsInto[to], src)
+}
+
+func (r *postRun) epsOf(s State) []State {
+	if int(s) < len(r.epsInto) {
+		return r.epsInto[s]
+	}
+	return nil
+}
+
+// apply fires one PDS rule on transition t given its current weight and
+// witness record.
+func (r *postRun) apply(ri int32, t Trans, w []uint64, rec *Witness) {
+	rl := &r.p.Rules[ri]
+	nw := r.wts.add(w, ruleWeight(rl, r.dim))
+	switch rl.Kind {
+	case PopRule:
+		r.push(Trans{rl.ToState, Eps, t.To}, nw, WitRule, ri, rl.FromSym, rec, nil)
+	case SwapRule:
+		r.push(Trans{rl.ToState, rl.Sym1, t.To}, nw, WitRule, ri, rl.FromSym, rec, nil)
+	case PushRule:
+		mid := r.midOf(rl.ToState, rl.Sym1)
+		r.push(Trans{rl.ToState, rl.Sym1, mid}, r.one(), WitRule, ri, rl.FromSym, rec, nil)
+		r.push(Trans{mid, rl.Sym2, t.To}, nw, WitPushB, ri, rl.FromSym, rec, nil)
+	}
+}
+
+// applyRules fires every PDS rule matching transition t (whose source is a
+// control state), resolving the match inline. The parallel driver replaces
+// this with a precomputed match list (process with matched != nil), which
+// yields the same rule sequence and the same probe tally.
+func (r *postRun) applyRules(t Trans, w []uint64, rec *Witness) {
+	if set := r.a.SymSet(t.Sym); set != nil {
+		rs := r.p.RulesFromState(t.From)
+		r.tally.probes += int64(len(rs))
+		for _, ri := range rs {
+			if set.Has(nfa.Sym(r.p.Rules[ri].FromSym)) {
+				r.apply(ri, t, w, rec)
 			}
 		}
-		if set := a.SymSet(t.Sym); set != nil {
-			rs := p.RulesFromState(t.From)
-			tally.probes += int64(len(rs))
-			for _, ri := range rs {
-				if set.Has(nfa.Sym(p.Rules[ri].FromSym)) {
-					apply(ri)
-				}
-			}
-		} else {
-			rs := p.RulesFrom(t.From, t.Sym)
-			tally.probes += int64(len(rs))
-			for _, ri := range rs {
-				apply(ri)
-			}
+	} else {
+		rs := r.p.RulesFrom(t.From, t.Sym)
+		r.tally.probes += int64(len(rs))
+		for _, ri := range rs {
+			r.apply(ri, t, w, rec)
 		}
 	}
+}
 
-	earlyOK := o.EarlyAccept && dim == 0 && o.FinalSpec != nil && len(o.FinalStates) > 0
-	var specStarts []int
-	if earlyOK {
-		specStarts = o.FinalSpec.EpsClosure(o.FinalSpec.Start())
-	}
-	finish := func(early bool) *Result {
-		res := &Result{PDS: p, Auto: a, Dim: dim, Mids: map[State][2]uint32{}, EarlyAccepted: early}
-		for k, v := range mids {
-			res.Mids[v] = k
+// process is the pop body shared by the serial and parallel drivers. When
+// spec is true the rule-matching was precomputed by the speculation pass:
+// matched holds the firing rule indices and probes the probe count the
+// inline matcher would have tallied.
+func (r *postRun) process(ref edgeRef, matched []int32, probes int64, spec bool) {
+	a := r.a
+	se := &a.states[ref.from]
+	se.meta[ref.ei].flags &^= fQueued
+	e := &se.edges[ref.ei]
+	t := Trans{ref.from, e.Sym, e.To}
+	w, rec := e.Weight, e.Wit
+
+	if t.Sym == Eps {
+		// Register and combine with everything currently leaving t.To.
+		if se.meta[ref.ei].flags&fEpsReg == 0 {
+			se.meta[ref.ei].flags |= fEpsReg
+			r.epsAppend(t.To, t.From)
 		}
-		return res
-	}
-	if earlyOK && acceptReachable(a, o.FinalStates, specStarts, o.FinalSpec, sc) {
-		tally.earlyAccepts = 1
-		return finish(true), nil
+		out := a.states[t.To].edges
+		for i := range out {
+			e2 := &out[i]
+			if e2.Sym == Eps {
+				continue // ε-targets are never ε-sources
+			}
+			nw := r.wts.add(w, e2.Weight)
+			r.push(Trans{t.From, e2.Sym, e2.To}, nw, WitCombine, -1, 0, rec, e2.Wit)
+		}
+		return
 	}
 
-	var work int64
-	nextCheck := int64(firstCheck)
-	for head < len(queue) {
-		if work++; budget > 0 && work > budget {
-			tally.pops = work
-			budgetExhausted.Inc()
-			return nil, ErrBudget
-		}
-		if work == nextCheck {
-			if nextCheck < checkEvery {
-				nextCheck *= 2
-			} else {
-				nextCheck += checkEvery
-			}
-			if stop != nil {
-				select {
-				case <-stop:
-					tally.pops = work
-					satStopped.Inc()
-					return nil, ErrStopped
-				default:
-				}
-			}
-			if earlyOK && acceptReachable(a, o.FinalStates, specStarts, o.FinalSpec, sc) {
-				tally.pops = work
-				tally.earlyAccepts = 1
-				return finish(true), nil
-			}
-		}
-		ref := queue[head]
-		head++
-		if head == len(queue) {
-			queue, head = queue[:0], 0
-		} else if head >= 4096 && head*2 >= len(queue) {
-			// Compact so the backing array stops growing once the drain
-			// keeps pace with the pushes (the old slice-off-the-front
-			// worklist retained and repeatedly recopied the whole array).
-			n := copy(queue, queue[head:])
-			queue, head = queue[:n], 0
-		}
-		se := &a.states[ref.from]
-		se.meta[ref.ei].flags &^= fQueued
-		e := &se.edges[ref.ei]
-		t := Trans{ref.from, e.Sym, e.To}
-		w, rec := e.Weight, e.Wit
-
-		if t.Sym == Eps {
-			// Register and combine with everything currently leaving t.To.
-			if se.meta[ref.ei].flags&fEpsReg == 0 {
-				se.meta[ref.ei].flags |= fEpsReg
-				epsAppend(t.To, t.From)
-			}
-			out := a.states[t.To].edges
-			for i := range out {
-				e2 := &out[i]
-				if e2.Sym == Eps {
-					continue // ε-targets are never ε-sources
-				}
-				nw := wts.add(w, e2.Weight)
-				push(Trans{t.From, e2.Sym, e2.To}, nw, WitCombine, -1, 0, rec, e2.Wit)
-			}
+	// Combine ε-transitions into t.From with t (the symmetric case;
+	// only mid states ever gain new outgoing transitions).
+	for _, src := range r.epsOf(t.From) {
+		et, ok2 := a.Get(Trans{src, Eps, t.From})
+		if !ok2 {
 			continue
 		}
-
-		// Combine ε-transitions into t.From with t (the symmetric case;
-		// only mid states ever gain new outgoing transitions).
-		for _, src := range epsOf(t.From) {
-			et, ok2 := a.Get(Trans{src, Eps, t.From})
-			if !ok2 {
-				continue
-			}
-			nw := wts.add(et.Weight, w)
-			push(Trans{src, t.Sym, t.To}, nw, WitCombine, -1, 0, et.Wit, rec)
-		}
-
-		if int(t.From) >= p.NumStates {
-			continue // no rules apply to non-control sources
-		}
-		applyRules(t, w, rec)
+		nw := r.wts.add(et.Weight, w)
+		r.push(Trans{src, t.Sym, t.To}, nw, WitCombine, -1, 0, et.Wit, rec)
 	}
 
-	tally.pops = work
-	return finish(false), nil
+	if int(t.From) >= r.p.NumStates {
+		return // no rules apply to non-control sources
+	}
+	if spec {
+		r.tally.probes += probes
+		for _, ri := range matched {
+			r.apply(ri, t, w, rec)
+		}
+	} else {
+		r.applyRules(t, w, rec)
+	}
+}
+
+func (r *postRun) finish(early bool) *Result {
+	res := &Result{PDS: r.p, Auto: r.a, Dim: r.dim, Mids: map[State][2]uint32{}, EarlyAccepted: early}
+	for k, v := range r.mids {
+		res.Mids[v] = k
+	}
+	return res
 }
 
 func ruleWeight(r *Rule, dim int) []uint64 {

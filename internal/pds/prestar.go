@@ -7,6 +7,23 @@ package pds
 // Schwoon's Algorithm 1; it is unweighted and does not track witnesses —
 // the engine uses Poststar for witness generation and Prestar for
 // cross-validation (post*(I) ∩ F ≠ ∅ ⇔ I ∩ pre*(F) ≠ ∅).
+func Prestar(p *PDS, target *Auto) *Result {
+	res, err := PrestarOpts(p, target, SatOptions{})
+	if err != nil {
+		// Without a budget or stop channel PrestarOpts cannot fail.
+		panic("pds: Prestar: " + err.Error())
+	}
+	return res
+}
+
+// PrestarOpts is Prestar with the same optional controls post* takes:
+// Budget bounds the worklist pops (ErrBudget on exhaustion), Stop aborts
+// cooperatively at the firstCheck/checkEvery cadence (ErrStopped), and the
+// run's counters flush into the alg="prestar" obs series. The weighted and
+// early-accept fields of SatOptions do not apply to this direction (pre*
+// here is the unweighted cross-validation pass) and are ignored, as is
+// Parallelism: pre* is off the latency-critical path, so it takes the
+// serial worklist unconditionally.
 //
 // The worklist is drained with a head index over a shared pooled buffer:
 // the old `queue = queue[1:]` form shrank the slice's capacity with every
@@ -14,7 +31,7 @@ package pds
 // over a run. Membership tracking lives in the per-edge fQueued flag; the
 // old inQueue map is gone (pre* inserts are pure novelty checks, so an
 // edge never re-enters the worklist anyway).
-func Prestar(p *PDS, target *Auto) *Result {
+func PrestarOpts(p *PDS, target *Auto, o SatOptions) (*Result, error) {
 	a := target
 	var tally satTally
 	var wits witArena
@@ -80,7 +97,30 @@ func Prestar(p *PDS, target *Auto) *Result {
 	dprimeBy := make([][]dprime, a.NumStates())
 
 	var matchBuf []State
+	var work int64
+	nextCheck := int64(firstCheck)
 	for head < len(queue) {
+		if work++; o.Budget > 0 && work > o.Budget {
+			tally.pops = work
+			budgetExhausted.Inc()
+			return nil, ErrBudget
+		}
+		if work == nextCheck {
+			if nextCheck < checkEvery {
+				nextCheck *= 2
+			} else {
+				nextCheck += checkEvery
+			}
+			if o.Stop != nil {
+				select {
+				case <-o.Stop:
+					tally.pops = work
+					satStopped.Inc()
+					return nil, ErrStopped
+				default:
+				}
+			}
+		}
 		ref := queue[head]
 		head++
 		if head == len(queue) {
@@ -92,7 +132,6 @@ func Prestar(p *PDS, target *Auto) *Result {
 		se := &a.states[ref.from]
 		se.meta[ref.ei].flags &^= fQueued
 		t := Trans{ref.from, se.edges[ref.ei].Sym, se.edges[ref.ei].To}
-		tally.pops++
 
 		// Swap rules whose RHS head ⟨t.From, γ′⟩ matches this transition.
 		if int(t.From) < p.NumStates {
@@ -121,5 +160,6 @@ func Prestar(p *PDS, target *Auto) *Result {
 			}
 		}
 	}
-	return &Result{PDS: p, Auto: a, Dim: 0}
+	tally.pops = work
+	return &Result{PDS: p, Auto: a, Dim: 0}, nil
 }

@@ -45,6 +45,7 @@ type cacheKey struct {
 	mode         Mode
 	spec         string // rendering of the weight spec; "" = unweighted
 	noReductions bool
+	sliced       bool
 }
 
 type cacheEntry struct {
@@ -83,7 +84,7 @@ func (c *Cache) Get(q *query.Query, opts Options) (*System, *pds.Auto) {
 		sys := Build(c.net, q, opts)
 		return sys, sys.InitAuto()
 	}
-	key := cacheKey{q: q, mode: opts.Mode, spec: specString(opts.Spec), noReductions: opts.NoReductions}
+	key := cacheKey{q: q, mode: opts.Mode, spec: specString(opts.Spec), noReductions: opts.NoReductions, sliced: opts.Slice}
 	c.mu.Lock()
 	e := c.entries[key]
 	if e == nil {

@@ -1,0 +1,215 @@
+package translate_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"aalwines/internal/gen"
+	"aalwines/internal/pds"
+	"aalwines/internal/query"
+	"aalwines/internal/translate"
+)
+
+// The slice contract: a sliced build emits a subset of the unsliced rules,
+// and saturating both yields the same automaton — pruned rules never fire.
+// These tests check the contract over the running example and generated
+// networks at several failure bounds, plus the stats bookkeeping and the
+// incremental-build fallback.
+
+// satDump renders the saturated automaton of a system up to the canonical
+// state renaming: base control states keep their index (identical across
+// builds — slicing never changes the base encoding), chain states are
+// ranked by index order among chain states that acquired edges (pruned
+// chains never fire, so the fired chains' relative order is preserved),
+// and post-PDS states (initial-automaton tail, saturation mid states) are
+// numbered relative to PDS.NumStates. Two builds with equal dumps saturate
+// to isomorphic automata with identical edge order — everything a verdict,
+// witness or weight can observe.
+func satDump(t *testing.T, sys *translate.System) string {
+	t.Helper()
+	init := sys.InitAuto()
+	init.NormalizeWeights(sys.Dim)
+	res, err := pds.PoststarOpts(sys.PDS, init, pds.SatOptions{Dim: sys.Dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := make(map[pds.State]string)
+	rank := 0
+	name := func(s pds.State) string {
+		if _, _, _, ok := sys.DecodeState(s); ok {
+			return fmt.Sprintf("b%d", s)
+		}
+		if int(s) >= sys.PDS.NumStates {
+			return fmt.Sprintf("x%d", int(s)-sys.PDS.NumStates)
+		}
+		if n, ok := canon[s]; ok {
+			return n
+		}
+		n := fmt.Sprintf("c%d", rank)
+		rank++
+		canon[s] = n
+		return n
+	}
+	var b strings.Builder
+	for s := 0; s < res.Auto.NumStates(); s++ {
+		out := res.Auto.Out(pds.State(s))
+		acc := res.Auto.Accepting(pds.State(s))
+		if len(out) == 0 && !acc {
+			continue // dead state; pruned chains differ here by construction
+		}
+		fmt.Fprintf(&b, "%s accept=%v\n", name(pds.State(s)), acc)
+		for i, e := range out {
+			fmt.Fprintf(&b, "  e%d sym=%d to=%s w=%v\n", i, e.Sym, name(e.To), e.Weight)
+		}
+	}
+	return b.String()
+}
+
+func sliceNets(t *testing.T) map[string]*gen.Synth {
+	t.Helper()
+	return map[string]*gen.Synth{
+		"running-example": {Net: gen.RunningExample().Network},
+		"zoo":             gen.Zoo(gen.ZooOpts{Routers: 16, Seed: 3, Protection: true}),
+	}
+}
+
+func TestSliceByteIdenticalSaturation(t *testing.T) {
+	for name, s := range sliceNets(t) {
+		t.Run(name, func(t *testing.T) {
+			var texts []string
+			if name == "running-example" {
+				texts = []string{
+					"<ip> [.#v0] .* [v3#.] <ip> 0",
+					"<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2",
+					"<ip> [.#v0] .* [v2#v4] .* [v3#.] <ip> 1",
+				}
+			} else {
+				for _, q := range s.Queries(4, 5) {
+					texts = append(texts, q.Text)
+				}
+			}
+			for _, text := range texts {
+				q, err := query.Parse(text, s.Net)
+				if err != nil {
+					t.Fatalf("%q: %v", text, err)
+				}
+				for _, mode := range []translate.Mode{translate.Over, translate.Under} {
+					plain := translate.Build(s.Net, q, translate.Options{Mode: mode})
+					sliced := translate.Build(s.Net, q, translate.Options{Mode: mode, Slice: true})
+					if !sliced.SliceStats.Active {
+						t.Fatalf("%q mode=%d: slice not active", text, mode)
+					}
+					if got, want := len(sliced.PDS.Rules), len(plain.PDS.Rules); got > want {
+						t.Fatalf("%q mode=%d: sliced build has MORE rules (%d > %d)", text, mode, got, want)
+					}
+					if want, got := satDump(t, plain), satDump(t, sliced); got != want {
+						t.Fatalf("%q mode=%d: sliced saturation diverges from unsliced", text, mode)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSliceEffectiveness checks the point of the exercise: on an operator-
+// scale network, an endpoint-anchored query must actually shed rules and
+// routing keys, not just recompute the full system.
+func TestSliceEffectiveness(t *testing.T) {
+	s := gen.Nordunet(gen.NordOpts{Services: 2, EdgeRouters: 10, Seed: 1})
+	var shrunk bool
+	for _, tq := range s.Table1Queries()[:3] {
+		q, err := query.Parse(tq.Text, s.Net)
+		if err != nil {
+			t.Fatalf("%q: %v", tq.Text, err)
+		}
+		plain := translate.Build(s.Net, q, translate.Options{Mode: translate.Over, NoReductions: true})
+		sliced := translate.Build(s.Net, q, translate.Options{Mode: translate.Over, NoReductions: true, Slice: true})
+		st := sliced.SliceStats
+		t.Logf("%.60s: rules %d -> %d, routers %d/%d kept, keys %d/%d kept",
+			tq.Text, len(plain.PDS.Rules), len(sliced.PDS.Rules),
+			st.RoutersKept, st.RoutersKept+st.RoutersDropped,
+			st.KeysKept, st.KeysKept+st.KeysDropped)
+		if len(sliced.PDS.Rules) < len(plain.PDS.Rules) {
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		t.Fatal("slicing shed no rules on any anchored nordunet query")
+	}
+}
+
+func TestSliceStatsConsistent(t *testing.T) {
+	re := gen.RunningExample()
+	q, err := query.Parse("<ip> [.#v0] .* [v3#.] <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := translate.Build(re.Network, q, translate.Options{Slice: true})
+	st := sys.SliceStats
+	if !st.Active {
+		t.Fatal("slice stats inactive on a sliced build")
+	}
+	nr := re.Network.Topo.NumRouters()
+	if st.RoutersKept+st.RoutersDropped != nr {
+		t.Fatalf("router counts %d+%d != %d", st.RoutersKept, st.RoutersDropped, nr)
+	}
+	nl := re.Network.Topo.NumLinks()
+	if st.LinksKept+st.LinksDropped != nl {
+		t.Fatalf("link counts %d+%d != %d", st.LinksKept, st.LinksDropped, nl)
+	}
+	if st.RoutersKept <= 0 || st.LinksKept <= 0 {
+		t.Fatalf("degenerate slice for a satisfiable query: %+v", st)
+	}
+	if st.CoreRouters > st.RoutersKept || st.CoreLinks > st.LinksKept {
+		t.Fatalf("core exceeds forward closure: %+v", st)
+	}
+	if st.KeysKept+st.KeysDropped == 0 {
+		t.Fatalf("no routing keys counted: %+v", st)
+	}
+}
+
+// TestSliceCacheKeyed checks that a Cache keeps sliced and unsliced
+// systems in separate entries rather than conflating them.
+func TestSliceCacheKeyed(t *testing.T) {
+	re := gen.RunningExample()
+	q, err := query.Parse("<ip> [.#v0] .* [v3#.] <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := translate.NewCache(re.Network)
+	sliced, _ := c.Get(q, translate.Options{Slice: true})
+	plain, _ := c.Get(q, translate.Options{})
+	if sliced == plain {
+		t.Fatal("cache conflated sliced and unsliced builds")
+	}
+	if !sliced.SliceStats.Active || plain.SliceStats.Active {
+		t.Fatalf("slice stats mixed up: sliced.Active=%v plain.Active=%v",
+			sliced.SliceStats.Active, plain.SliceStats.Active)
+	}
+	if c.Stats().Entries != 2 {
+		t.Fatalf("want 2 cache entries, got %d", c.Stats().Entries)
+	}
+}
+
+// TestSessionCacheIgnoresSlice pins the incremental fallback rule: a
+// SessionCache serves scenario overlays through per-key block reuse, whose
+// cached blocks must stay valid across overlays — so it always builds the
+// full network, even when asked to slice.
+func TestSessionCacheIgnoresSlice(t *testing.T) {
+	re := gen.RunningExample()
+	q, err := query.Parse("<ip> [.#v0] .* [v3#.] <ip> 0", re.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := translate.NewSessionCache(re.Network)
+	sys, _ := sc.Get(q, translate.Options{Slice: true})
+	if sys.SliceStats.Active {
+		t.Fatal("session cache produced a sliced build")
+	}
+	plain := translate.Build(re.Network, q, translate.Options{})
+	if len(sys.PDS.Rules) != len(plain.PDS.Rules) {
+		t.Fatalf("session build rule count %d != full build %d",
+			len(sys.PDS.Rules), len(plain.PDS.Rules))
+	}
+}

@@ -53,6 +53,14 @@ type Options struct {
 	Dist weight.DistanceFunc
 	// NoReductions disables the top-of-stack reduction (ablation switch).
 	NoReductions bool
+	// Slice restricts rule emission to the query's network slice (the
+	// forward product closure of routing adjacency × path NFA; see
+	// slice.go). The saturated automaton — and hence the verification
+	// result — is byte-identical with or without it; only rule counts and
+	// build work shrink. Incremental builds (BlockStore hooks set) ignore
+	// the flag: block liveness is global over the routing table, so cached
+	// per-key blocks cannot soundly carry a query-scoped slice.
+	Slice bool
 }
 
 // StepInfo describes the network-level action of a tagged rule: the packet
@@ -84,6 +92,10 @@ type System struct {
 	// pass (equal to len(PDS.Rules) when reductions are disabled).
 	RulesBeforeReduction int
 
+	// SliceStats reports the query-scoped slice this build emitted under;
+	// Active is false when slicing was off or skipped (incremental builds).
+	SliceStats SliceStats
+
 	numB    int // path NFA states
 	kBudget int // failure budget levels for state encoding (1 for Over)
 	baseCnt int // number of base control states
@@ -102,6 +114,7 @@ type builder struct {
 	*System
 	pathNFA *nfa.NFA
 	dedup   map[ruleKey]bool
+	slice   *Slice
 
 	// Incremental-build hooks (nil for a plain Build): store caches
 	// relocatable per-key rule blocks, version maps a routing key to the
@@ -167,7 +180,13 @@ func (b *builder) construct() {
 	b.baseCnt = net.Topo.NumLinks() * b.numB * b.kBudget
 	b.PDS = pds.New(b.baseCnt, L+1)
 
+	if b.Opts.Slice && b.store == nil {
+		b.slice = ComputeSlice(net, q)
+	}
 	b.buildRules()
+	if b.slice != nil {
+		b.System.SliceStats = b.slice.Stats
+	}
 	b.RulesBeforeReduction = len(b.PDS.Rules)
 	b.buildFinal()
 	if !b.Opts.NoReductions {
@@ -232,6 +251,13 @@ func (b *builder) buildRules() {
 			b.stats.BlocksRebuilt++
 			continue
 		}
+		if b.slice != nil {
+			if !b.slice.LiveLink(key.In) {
+				b.slice.Stats.KeysDropped++
+				continue
+			}
+			b.slice.Stats.KeysKept++
+		}
 		b.buildKey(key)
 	}
 }
@@ -269,6 +295,11 @@ func (b *builder) buildEntry(in topology.LinkID, top labels.ID, entry routing.En
 	tag := int32(len(b.Steps))
 	used := false
 	for qb := 0; qb < b.numB; qb++ {
+		// Rules headed at a pair outside the forward slice can never fire;
+		// skipping them leaves the saturation byte-identical (slice.go).
+		if b.slice != nil && !b.slice.Live(in, qb) {
+			continue
+		}
 		// Collect distinct successor states in ascending order: map
 		// iteration order would make the rule order — and hence tie-breaks
 		// among equally minimal witnesses — vary between builds of the same
