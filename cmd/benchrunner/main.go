@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"aalwines/internal/engine"
@@ -38,6 +40,8 @@ func main() {
 	benchLadder := flag.Bool("bench-ladder", false, "run the scaled benchmark ladder (one BENCH_verify_<workload>.json per rung)")
 	checkLadder := flag.Bool("check-ladder", false, "re-run the ladder and gate it against the committed baselines in -ladder-dir (no files written)")
 	ladderTol := flag.Float64("ladder-tol", 0.15, "relative mean-latency tolerance for -check-ladder (0 disables the timing gate)")
+	ladderMemTol := flag.Float64("ladder-mem-tol", 0.35, "relative alloc-per-run tolerance for -check-ladder (0 disables the memory gate)")
+	ladderRung := flag.String("ladder-rung", "", "restrict -check-ladder to a comma-separated set of rungs (default: all)")
 	benchScenario := flag.Bool("bench-scenario", false, "run the what-if session benchmark (rule-block reuse vs from-scratch)")
 	benchSweep := flag.Bool("bench-sweep", false, "run the resilience-sweep benchmark (full single+double failure space)")
 	ladderDir := flag.String("ladder-dir", ".", "output directory for -bench-ladder")
@@ -60,7 +64,36 @@ func main() {
 	budget := flag.Int64("budget", 50_000_000, "saturation work budget (timeout analogue, 0 = unlimited)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for the Figure 4 sweep (1 = sequential, best timing fidelity)")
 	satJ := flag.Int("sat-j", 0, "saturation workers per query for -bench-verify/-bench-ladder/-check-ladder (0/1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			}
+		}()
+	}
 
 	if *validate != "" {
 		data, err := os.ReadFile(*validate)
@@ -78,6 +111,9 @@ func main() {
 			schema = experiments.BenchSweepSchema
 			err = experiments.ValidateBenchSweep(data)
 		default:
+			if bytes.Contains(data, []byte(experiments.BenchVerifySchemaV1)) {
+				schema = experiments.BenchVerifySchemaV1
+			}
 			err = experiments.ValidateBenchVerify(data)
 		}
 		if err != nil {
@@ -92,8 +128,12 @@ func main() {
 		os.Exit(2)
 	}
 	if *checkLadder {
-		lines, err := experiments.CheckBenchLadder(*ladderDir, *parallel, *satJ, *ladderTol)
-		fmt.Printf("== Bench ladder regression gate (tol %.0f%%, sat-j %d) ==\n", *ladderTol*100, *satJ)
+		lines, err := experiments.CheckBenchLadder(experiments.LadderGateConfig{
+			Dir: *ladderDir, Workers: *parallel, SatJ: *satJ,
+			Tol: *ladderTol, MemTol: *ladderMemTol, Only: *ladderRung,
+		})
+		fmt.Printf("== Bench ladder regression gate (tol %.0f%%, mem-tol %.0f%%, sat-j %d) ==\n",
+			*ladderTol*100, *ladderMemTol*100, *satJ)
 		for _, l := range lines {
 			fmt.Println("  ", l)
 		}

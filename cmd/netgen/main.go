@@ -28,10 +28,10 @@ func main() {
 
 func run() error {
 	var nf cli.NetFlags
-	flag.StringVar(&nf.Builtin, "net", "zoo", "network family: running-example, nordunet, zoo")
-	flag.IntVar(&nf.Routers, "routers", 0, "router count for -net zoo")
+	flag.StringVar(&nf.Builtin, "net", "zoo", "network family: running-example, nordunet, zoo, fattree, rings, backbone")
+	flag.IntVar(&nf.Routers, "routers", 0, "router count (zoo) or size target (fattree/rings/backbone)")
 	flag.Int64Var(&nf.Seed, "seed", 1, "generator seed")
-	flag.IntVar(&nf.Services, "services", 0, "service chains per pair for -net nordunet")
+	flag.IntVar(&nf.Services, "services", 0, "service chains per edge pair")
 	flag.IntVar(&nf.Edge, "edge", 0, "edge router count")
 	out := flag.String("out", "network", "output file prefix")
 	flag.Parse()

@@ -32,8 +32,8 @@ type NetFlags struct {
 	// GML is a Topology Zoo GML file; the MPLS dataplane is synthesised on
 	// it with Edge edge routers (default min(12, routers)).
 	GML string
-	// Builtin selects a generated network: "running-example", "nordunet"
-	// or "zoo".
+	// Builtin selects a generated network: "running-example", "nordunet",
+	// "zoo", "fattree", "rings" or "backbone".
 	Builtin string
 	// Locations is an optional JSON location file.
 	Locations string
@@ -117,6 +117,39 @@ func builtin(f NetFlags) (*network.Network, error) {
 		return gen.Zoo(gen.ZooOpts{
 			Routers: orInt(f.Routers, 84), EdgeRouters: f.Edge,
 			Protection: true, Seed: f.Seed,
+		}).Net, nil
+	case "fattree", "fat-tree":
+		// -routers is a size target: the smallest even arity k whose
+		// 5k²/4-switch fabric reaches it (default k=8).
+		k := 8
+		if f.Routers > 0 {
+			for k = 2; 5*k*k/4 < f.Routers; k += 2 {
+			}
+		}
+		return gen.FatTree(gen.FatTreeOpts{
+			K: k, EdgeRouters: f.Edge, Services: f.Services, Seed: f.Seed,
+		}).Net, nil
+	case "rings", "ring-of-rings":
+		// -routers is a size target at the default ring size of 8
+		// (each ring contributes 8 routers plus its hub).
+		rings := 0
+		if f.Routers > 0 {
+			rings = f.Routers / 9
+			if rings < 3 {
+				rings = 3
+			}
+		}
+		return gen.RingOfRings(gen.RingOfRingsOpts{
+			Rings: rings, EdgeRouters: f.Edge, Services: f.Services, Seed: f.Seed,
+		}).Net, nil
+	case "backbone":
+		// -routers is a size target: an 8-router core plus PoPs.
+		pops := 0
+		if f.Routers > 8 {
+			pops = f.Routers - 8
+		}
+		return gen.Backbone(gen.BackboneOpts{
+			Pops: pops, EdgeRouters: f.Edge, Services: f.Services, Seed: f.Seed,
 		}).Net, nil
 	default:
 		return nil, fmt.Errorf("cli: unknown builtin network %q", f.Builtin)

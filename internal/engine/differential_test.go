@@ -334,3 +334,46 @@ func TestDifferentialBatchSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialPaperScale extends the differential harness to one
+// paper-scale input: the >250k-rule NORDUnet service configuration behind
+// the nordunet-svc-250k ladder rung. Every execution mode that promises
+// byte-identity — query-scoped slicing on/off, parallel saturation — must
+// serialise identically on a dataplane of this size, where index packing
+// and arena reuse actually engage. Two of the six Table 1 queries keep the
+// runtime test-suite-friendly; the bench ladder covers the full set.
+func TestDifferentialPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale differential in -short mode")
+	}
+	s := gen.Nordunet(gen.NordOpts{Services: 70, EdgeRouters: 31, Seed: 1})
+	if n := s.Net.Routing.NumRules(); n <= 250_000 {
+		t.Fatalf("paper-scale network has %d rules, want > 250000", n)
+	}
+	qs := s.Table1Queries()
+	for _, i := range []int{2, 5} {
+		text := qs[i].Text
+		base, err := engine.VerifyText(s.Net, text, engine.Options{NoSlice: true})
+		if err != nil {
+			t.Fatalf("%q: unsliced: %v", text, err)
+		}
+		want := marshalResult(t, base)
+		sliced, err := engine.VerifyText(s.Net, text, engine.Options{})
+		if err != nil {
+			t.Fatalf("%q: sliced: %v", text, err)
+		}
+		if !sliced.Stats.Slice.Active {
+			t.Errorf("%q: default run reports inactive slice", text)
+		}
+		if got := marshalResult(t, sliced); !bytes.Equal(got, want) {
+			t.Errorf("%q: sliced result differs from unsliced at paper scale", text)
+		}
+		par, err := engine.VerifyText(s.Net, text, engine.Options{SatJ: 4})
+		if err != nil {
+			t.Fatalf("%q: sat-j=4: %v", text, err)
+		}
+		if got := marshalResult(t, par); !bytes.Equal(got, want) {
+			t.Errorf("%q: sat-j=4 result differs from serial unsliced at paper scale", text)
+		}
+	}
+}

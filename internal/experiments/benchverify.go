@@ -5,8 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,16 +20,23 @@ import (
 	"aalwines/internal/obs"
 )
 
-// BenchVerifySchema identifies the BENCH_verify.json document layout;
-// consumers reject documents with a different schema string.
-const BenchVerifySchema = "aalwines/bench-verify/v1"
+// BenchVerifySchema identifies the current BENCH_verify.json document
+// layout. v2 added the memory block (alloc/op and peak RSS); v1 documents
+// carry no memory block and stay readable through the compat path in
+// ValidateBenchVerify, so old committed baselines keep validating.
+const (
+	BenchVerifySchema   = "aalwines/bench-verify/v2"
+	BenchVerifySchemaV1 = "aalwines/bench-verify/v1"
+)
 
 // BenchVerifyConfig configures the canonical verification benchmark: a
 // fixed query set swept Repeat times through a batch runner, with latency,
 // cache and saturation metrics collected from the observability registry.
 type BenchVerifyConfig struct {
-	// Network is a builtin name: "running-example" (default), "nordunet"
-	// or "zoo".
+	// Network is a builtin name: "running-example" (default), "nordunet",
+	// "zoo", or one of the paper-scale workloads "nordunet-svc-250k"
+	// (>250k rules), "zoo-240" (the paper's largest zoo size) and
+	// "fattree-k8" (112-switch Clos fabric).
 	Network string
 	// Repeat sweeps the query set this many times (default 3); repeats
 	// after the first run entirely from the warm translation cache.
@@ -61,7 +71,22 @@ type BenchVerifyReport struct {
 	LatencyMS  BenchLatency    `json:"latencyMs"`
 	Cache      BenchCache      `json:"cache"`
 	Saturation BenchSaturation `json:"saturation"`
+	Memory     *BenchMemory    `json:"memory,omitempty"`
 	ElapsedMS  float64         `json:"elapsedMs"`
+}
+
+// BenchMemory reports the allocation cost of the benchmark as
+// runtime.MemStats deltas over the whole sweep divided by the number of
+// runs. Unlike the saturation counters, allocation figures are not
+// bit-reproducible — GC timing and sync.Pool reuse shift them by a few
+// percent between runs — so the ladder gates them with a generous relative
+// tolerance instead of an exact match. PeakRSSBytes is the process
+// high-water mark (VmHWM on Linux, 0 elsewhere); it is a process-lifetime
+// figure recorded for context and never gated.
+type BenchMemory struct {
+	AllocBytesPerRun int64 `json:"allocBytesPerRun"`
+	AllocsPerRun     int64 `json:"allocsPerRun"`
+	PeakRSSBytes     int64 `json:"peakRssBytes,omitempty"`
 }
 
 // BenchLatency summarises the per-query latency distribution in
@@ -144,6 +169,27 @@ func benchWorkload(cfg BenchVerifyConfig) (*network.Network, []string, error) {
 		for _, q := range s.Queries(12, cfg.Seed) {
 			queries = append(queries, q.Text)
 		}
+	case "nordunet-svc-250k":
+		// The paper's heaviest configuration: every NORDUnet edge router
+		// carries 70 service chains per pair, which pushes the dataplane
+		// past 250k rules (asserted by TestLadderPaperScaleRules).
+		s := gen.Nordunet(gen.NordOpts{Services: 70, EdgeRouters: 31, Seed: cfg.Seed})
+		net = s.Net
+		for _, q := range s.Table1Queries() {
+			queries = append(queries, q.Text)
+		}
+	case "zoo-240":
+		s := gen.Zoo(gen.ZooOpts{Routers: 240, Seed: cfg.Seed, Protection: true})
+		net = s.Net
+		for _, q := range s.Queries(12, cfg.Seed) {
+			queries = append(queries, q.Text)
+		}
+	case "fattree-k8":
+		s := gen.FatTree(gen.FatTreeOpts{K: 8, Seed: cfg.Seed})
+		net = s.Net
+		for _, q := range s.Queries(12, cfg.Seed) {
+			queries = append(queries, q.Text)
+		}
 	default:
 		return nil, nil, fmt.Errorf("benchverify: unknown network %q", name)
 	}
@@ -166,6 +212,8 @@ func BenchVerify(cfg BenchVerifyConfig) (*BenchVerifyReport, error) {
 	}
 
 	pre := obs.Default.Snapshot()
+	var msPre, msPost runtime.MemStats
+	runtime.ReadMemStats(&msPre)
 	runner := batch.NewRunner(net)
 	start := time.Now()
 	var all []batch.Result
@@ -176,6 +224,7 @@ func BenchVerify(cfg BenchVerifyConfig) (*BenchVerifyReport, error) {
 		})...)
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msPost)
 	post := obs.Default.Snapshot()
 
 	rep := &BenchVerifyReport{
@@ -217,7 +266,36 @@ func BenchVerify(cfg BenchVerifyConfig) (*BenchVerifyReport, error) {
 		HitRate: cs.HitRate(),
 	}
 	rep.Saturation = saturationDelta(pre, post)
+	rep.Memory = &BenchMemory{
+		AllocBytesPerRun: int64(msPost.TotalAlloc-msPre.TotalAlloc) / int64(len(all)),
+		AllocsPerRun:     int64(msPost.Mallocs-msPre.Mallocs) / int64(len(all)),
+		PeakRSSBytes:     readPeakRSS(),
+	}
 	return rep, nil
+}
+
+// readPeakRSS returns the process peak resident set (VmHWM) in bytes, or 0
+// on platforms without /proc.
+func readPeakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
 }
 
 // nearestRank returns the q-quantile of sorted samples by the
@@ -277,13 +355,21 @@ type LadderRung struct {
 
 // BenchLadder returns the canonical scaled workload ladder, smallest to
 // largest: the paper's running example, a synthesised topology-zoo-scale
-// network, and a NORDUnet-scale MPLS backbone. Each rung writes its own
-// BENCH_verify_<name>.json so regressions localise to a scale.
+// network, a NORDUnet-scale MPLS backbone, and the paper-scale rungs — a
+// k=8 Clos fabric, the paper's largest zoo size (240 routers) and the
+// >250k-rule NORDUnet service configuration. Each rung writes its own
+// BENCH_verify_<name>.json so regressions localise to a scale. The
+// paper-scale rungs sweep once (the translation cache never warms twice at
+// that size within a sane CI budget); the small rungs keep Repeat 3 so the
+// warm-cache path stays covered.
 func BenchLadder() []LadderRung {
 	return []LadderRung{
 		{Name: "running-example", Cfg: BenchVerifyConfig{Network: "running-example", Repeat: 3, Seed: 1}},
 		{Name: "zoo", Cfg: BenchVerifyConfig{Network: "zoo", Repeat: 3, Seed: 1}},
 		{Name: "nordunet", Cfg: BenchVerifyConfig{Network: "nordunet", Repeat: 3, Seed: 1}},
+		{Name: "fattree-k8", Cfg: BenchVerifyConfig{Network: "fattree-k8", Repeat: 2, Seed: 1}},
+		{Name: "zoo-240", Cfg: BenchVerifyConfig{Network: "zoo-240", Repeat: 1, Seed: 1}},
+		{Name: "nordunet-svc-250k", Cfg: BenchVerifyConfig{Network: "nordunet-svc-250k", Repeat: 1, Seed: 1}},
 	}
 }
 
@@ -330,8 +416,20 @@ func ValidateBenchVerify(data []byte) error {
 	if err := dec.Decode(&rep); err != nil {
 		return fmt.Errorf("benchverify: parse: %w", err)
 	}
-	if rep.Schema != BenchVerifySchema {
-		return fmt.Errorf("benchverify: schema %q, want %q", rep.Schema, BenchVerifySchema)
+	switch rep.Schema {
+	case BenchVerifySchema:
+		if rep.Memory == nil {
+			return fmt.Errorf("benchverify: schema %s requires a memory block", rep.Schema)
+		}
+	case BenchVerifySchemaV1:
+		// v1 predates the memory block; a v1 document carrying one is
+		// mislabelled.
+		if rep.Memory != nil {
+			return fmt.Errorf("benchverify: schema %s must not carry a memory block", rep.Schema)
+		}
+	default:
+		return fmt.Errorf("benchverify: schema %q, want %q (or legacy %q)",
+			rep.Schema, BenchVerifySchema, BenchVerifySchemaV1)
 	}
 	if rep.Network == "" {
 		return fmt.Errorf("benchverify: empty network")
@@ -374,6 +472,11 @@ func ValidateBenchVerify(data []byte) error {
 	}
 	if s.EarlyAccepts > s.Runs {
 		return fmt.Errorf("benchverify: earlyAccepts=%d exceeds saturation runs=%d", s.EarlyAccepts, s.Runs)
+	}
+	if m := rep.Memory; m != nil {
+		if m.AllocBytesPerRun < 0 || m.AllocsPerRun < 0 || m.PeakRSSBytes < 0 {
+			return fmt.Errorf("benchverify: negative memory figures: %+v", *m)
+		}
 	}
 	if rep.ElapsedMS < 0 {
 		return fmt.Errorf("benchverify: negative elapsed %g", rep.ElapsedMS)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Bench-ladder regression gate. CI re-runs every rung of the ladder and
@@ -30,10 +31,22 @@ import (
 // under a millisecond.
 const ladderGraceMS = 0.25
 
+// Absolute slack for the memory gate, mirroring ladderGraceMS: the small
+// rungs allocate a few megabytes per run, where GC timing alone moves the
+// delta by more than any plausible tolerance percentage.
+const (
+	ladderMemGraceBytes  = 8 << 20
+	ladderMemGraceAllocs = 50_000
+)
+
 // CompareBenchVerify checks a freshly measured report against a committed
 // baseline of the same workload. tol is the relative mean-latency
-// tolerance (0.15 = +15%); tol <= 0 skips the timing check.
-func CompareBenchVerify(base, fresh *BenchVerifyReport, tol float64) error {
+// tolerance (0.15 = +15%); tol <= 0 skips the timing check. memTol gates
+// alloc bytes and malloc counts per run the same way; it is skipped when
+// <= 0 or when the baseline predates the v2 memory block. Memory figures
+// are noisier than latency on a quiet machine, so memTol should be
+// generous (the benchrunner default is 0.35).
+func CompareBenchVerify(base, fresh *BenchVerifyReport, tol, memTol float64) error {
 	if base.Network != fresh.Network || base.Queries != fresh.Queries ||
 		base.Repeat != fresh.Repeat || base.Seed != fresh.Seed || base.Budget != fresh.Budget {
 		return fmt.Errorf("workload mismatch: baseline (net=%s q=%d r=%d seed=%d budget=%d), fresh (net=%s q=%d r=%d seed=%d budget=%d)",
@@ -72,18 +85,59 @@ func CompareBenchVerify(base, fresh *BenchVerifyReport, tol float64) error {
 				fresh.LatencyMS.Mean, base.LatencyMS.Mean, int(tol*100), ladderGraceMS, limit)
 		}
 	}
+	if memTol > 0 && base.Memory != nil && fresh.Memory != nil {
+		bm, fm := base.Memory, fresh.Memory
+		if limit := float64(bm.AllocBytesPerRun)*(1+memTol) + ladderMemGraceBytes; float64(fm.AllocBytesPerRun) > limit {
+			return fmt.Errorf("memory regression: %.1f MB/run exceeds baseline %.1f MB/run +%d%% (+%d MB grace)",
+				float64(fm.AllocBytesPerRun)/(1<<20), float64(bm.AllocBytesPerRun)/(1<<20),
+				int(memTol*100), ladderMemGraceBytes>>20)
+		}
+		if limit := float64(bm.AllocsPerRun)*(1+memTol) + ladderMemGraceAllocs; float64(fm.AllocsPerRun) > limit {
+			return fmt.Errorf("memory regression: %d allocs/run exceeds baseline %d +%d%% (+%d grace)",
+				fm.AllocsPerRun, bm.AllocsPerRun, int(memTol*100), ladderMemGraceAllocs)
+		}
+	}
 	return nil
 }
 
-// CheckBenchLadder re-runs every ladder rung and gates it against the
-// committed baselines in dir, without touching the baseline files. It
-// returns one human-readable summary line per rung; the error aggregates
-// every rung that failed its gate.
-func CheckBenchLadder(dir string, workers, satJ int, tol float64) ([]string, error) {
+// LadderGateConfig configures the ladder regression gate.
+type LadderGateConfig struct {
+	// Dir holds the committed BENCH_verify_<rung>.json baselines.
+	Dir string
+	// Workers and SatJ are forwarded to every rung's BenchVerifyConfig.
+	Workers int
+	SatJ    int
+	// Tol is the relative mean-latency tolerance (<= 0 disables timing).
+	Tol float64
+	// MemTol is the relative alloc-per-run tolerance (<= 0 disables the
+	// memory gate; v1 baselines skip it regardless).
+	MemTol float64
+	// Only restricts the gate to a comma-separated set of rung names
+	// ("" = all); CI uses it to split the fast small-rung gate from the
+	// bounded paper-scale smoke job.
+	Only string
+}
+
+// CheckBenchLadder re-runs every ladder rung (or just cfg.Only) and gates
+// it against the committed baselines in cfg.Dir, without touching the
+// baseline files. It returns one human-readable summary line per rung; the
+// error aggregates every rung that failed its gate.
+func CheckBenchLadder(cfg LadderGateConfig) ([]string, error) {
+	only := map[string]bool{}
+	if cfg.Only != "" {
+		for _, name := range strings.Split(cfg.Only, ",") {
+			only[strings.TrimSpace(name)] = true
+		}
+	}
 	var lines []string
 	var failures []string
+	matched := false
 	for _, rung := range BenchLadder() {
-		path := filepath.Join(dir, "BENCH_verify_"+rung.Name+".json")
+		if len(only) > 0 && !only[rung.Name] {
+			continue
+		}
+		matched = true
+		path := filepath.Join(cfg.Dir, "BENCH_verify_"+rung.Name+".json")
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return lines, fmt.Errorf("ladder baseline %s: %w", path, err)
@@ -92,20 +146,27 @@ func CheckBenchLadder(dir string, workers, satJ int, tol float64) ([]string, err
 		if err != nil {
 			return lines, fmt.Errorf("ladder baseline %s: %w", path, err)
 		}
-		cfg := rung.Cfg
-		cfg.Workers = workers
-		cfg.SatJ = satJ
-		fresh, err := BenchVerify(cfg)
+		rcfg := rung.Cfg
+		rcfg.Workers = cfg.Workers
+		rcfg.SatJ = cfg.SatJ
+		fresh, err := BenchVerify(rcfg)
 		if err != nil {
 			return lines, fmt.Errorf("ladder rung %s: %w", rung.Name, err)
 		}
-		if cerr := CompareBenchVerify(base, fresh, tol); cerr != nil {
+		if cerr := CompareBenchVerify(base, fresh, cfg.Tol, cfg.MemTol); cerr != nil {
 			failures = append(failures, fmt.Sprintf("%s: %v", rung.Name, cerr))
-			lines = append(lines, fmt.Sprintf("%-16s FAIL  %v", rung.Name, cerr))
+			lines = append(lines, fmt.Sprintf("%-18s FAIL  %v", rung.Name, cerr))
 			continue
 		}
-		lines = append(lines, fmt.Sprintf("%-16s ok    mean=%.3fms (baseline %.3fms)  pops=%d",
-			rung.Name, fresh.LatencyMS.Mean, base.LatencyMS.Mean, fresh.Saturation.WorklistPops))
+		mem := ""
+		if fresh.Memory != nil {
+			mem = fmt.Sprintf("  alloc/run=%.1fMB", float64(fresh.Memory.AllocBytesPerRun)/(1<<20))
+		}
+		lines = append(lines, fmt.Sprintf("%-18s ok    mean=%.3fms (baseline %.3fms)  pops=%d%s",
+			rung.Name, fresh.LatencyMS.Mean, base.LatencyMS.Mean, fresh.Saturation.WorklistPops, mem))
+	}
+	if cfg.Only != "" && !matched {
+		return lines, fmt.Errorf("ladder: no rung matches %q", cfg.Only)
 	}
 	if len(failures) > 0 {
 		return lines, fmt.Errorf("ladder regression gate: %d rung(s) failed:\n  %s",

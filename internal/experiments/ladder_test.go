@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestLadderPaperScaleRules pins the tentpole claim behind the
+// nordunet-svc-250k rung: its generator emits a dataplane of more than
+// 250k rules, the scale of the paper's heaviest NORDUnet configuration.
+func TestLadderPaperScaleRules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation in -short mode")
+	}
+	var cfg BenchVerifyConfig
+	for _, rung := range BenchLadder() {
+		if rung.Name == "nordunet-svc-250k" {
+			cfg = rung.Cfg
+		}
+	}
+	if cfg.Network == "" {
+		t.Fatal("ladder has no nordunet-svc-250k rung")
+	}
+	net, queries, err := benchWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := net.Routing.NumRules(); n <= 250_000 {
+		t.Fatalf("nordunet-svc-250k rung has %d rules, want > 250000", n)
+	}
+	if len(queries) == 0 {
+		t.Fatal("rung resolved no queries")
+	}
+}
+
+// TestLadderHasPaperScaleRungs keeps the rung set aligned with the
+// documented ladder: anyone dropping a rung also has to touch this test.
+func TestLadderHasPaperScaleRungs(t *testing.T) {
+	want := map[string]bool{
+		"running-example": false, "zoo": false, "nordunet": false,
+		"fattree-k8": false, "zoo-240": false, "nordunet-svc-250k": false,
+	}
+	for _, rung := range BenchLadder() {
+		if _, ok := want[rung.Name]; !ok {
+			t.Errorf("unexpected rung %q", rung.Name)
+		}
+		want[rung.Name] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("ladder is missing rung %q", name)
+		}
+	}
+}
+
+// TestReadBenchVerifyV1Compat checks that pre-memory v1 documents still
+// validate and parse, and that the memory gate silently skips them.
+func TestReadBenchVerifyV1Compat(t *testing.T) {
+	rep, err := BenchVerify(BenchVerifyConfig{Repeat: 1, Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchVerifySchema || rep.Memory == nil {
+		t.Fatalf("fresh report should be %s with a memory block, got %s / %v",
+			BenchVerifySchema, rep.Schema, rep.Memory)
+	}
+
+	v1 := *rep
+	v1.Schema = BenchVerifySchemaV1
+	v1.Memory = nil
+	data, err := json.MarshalIndent(&v1, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBenchVerify(data)
+	if err != nil {
+		t.Fatalf("v1 document rejected: %v", err)
+	}
+	// memTol > 0 must not fail against a baseline that has no memory block.
+	if err := CompareBenchVerify(base, rep, 0, 0.35); err != nil {
+		t.Fatalf("memory gate fired on a v1 baseline: %v", err)
+	}
+
+	// A v2 document without the memory block is malformed ...
+	v2 := *rep
+	v2.Memory = nil
+	data, _ = json.MarshalIndent(&v2, "", "  ")
+	if err := ValidateBenchVerify(data); err == nil || !strings.Contains(err.Error(), "memory") {
+		t.Fatalf("v2 without memory block: got %v, want memory error", err)
+	}
+	// ... and so is a v1 document that carries one.
+	v1bad := *rep
+	v1bad.Schema = BenchVerifySchemaV1
+	data, _ = json.MarshalIndent(&v1bad, "", "  ")
+	if err := ValidateBenchVerify(data); err == nil || !strings.Contains(err.Error(), "memory") {
+		t.Fatalf("v1 with memory block: got %v, want memory error", err)
+	}
+}
+
+// TestCompareBenchVerifyMemoryGate exercises the alloc-per-run gate: a
+// regression beyond tolerance+grace fails, one inside the envelope passes,
+// and memTol <= 0 disables the gate entirely.
+func TestCompareBenchVerifyMemoryGate(t *testing.T) {
+	base, err := BenchVerify(BenchVerifyConfig{Repeat: 1, Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := *base
+	mem := *base.Memory
+	fresh.Memory = &mem
+
+	if err := CompareBenchVerify(base, &fresh, 0, 0.35); err != nil {
+		t.Fatalf("identical memory failed the gate: %v", err)
+	}
+	mem.AllocBytesPerRun = base.Memory.AllocBytesPerRun*2 + 2*ladderMemGraceBytes
+	if err := CompareBenchVerify(base, &fresh, 0, 0.35); err == nil {
+		t.Fatal("2x alloc bytes (beyond grace) passed the gate")
+	}
+	if err := CompareBenchVerify(base, &fresh, 0, 0); err != nil {
+		t.Fatalf("memTol 0 should disable the gate: %v", err)
+	}
+	mem.AllocBytesPerRun = base.Memory.AllocBytesPerRun
+	mem.AllocsPerRun = base.Memory.AllocsPerRun*2 + 2*ladderMemGraceAllocs
+	if err := CompareBenchVerify(base, &fresh, 0, 0.35); err == nil {
+		t.Fatal("2x allocs/run (beyond grace) passed the gate")
+	}
+}

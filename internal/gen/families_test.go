@@ -1,0 +1,236 @@
+package gen
+
+import (
+	"testing"
+
+	"aalwines/internal/labels"
+	"aalwines/internal/network"
+)
+
+// ---- fat-tree -------------------------------------------------------------
+
+func TestFatTreeShape(t *testing.T) {
+	s := FatTree(FatTreeOpts{K: 4, Seed: 1})
+	// k=4: 4 core + 8 aggregation + 8 ToR switches, plus one external stub
+	// per ToR (all 8 ToRs are provider edges by default).
+	if got := s.Net.Topo.NumRouters(); got != 20+8 {
+		t.Errorf("routers = %d, want 28", got)
+	}
+	if got := len(s.Edge); got != 8 {
+		t.Errorf("edge routers = %d, want 8", got)
+	}
+	// Fabric links: per pod h·h ToR-agg + h·h agg-core pairs, ×2 directed
+	// each, ×2 for both orientations; k=4,h=2 → 4·(4+4)·2 = 64 directed
+	// fabric links, plus 2 stub links per edge router.
+	if got := s.Net.Topo.NumLinks(); got != 64+16 {
+		t.Errorf("links = %d, want 80", got)
+	}
+}
+
+func TestFatTreeDeterministic(t *testing.T) {
+	a := FatTree(FatTreeOpts{K: 4, EdgeRouters: 5, Services: 2, Seed: 7})
+	b := FatTree(FatTreeOpts{K: 4, EdgeRouters: 5, Services: 2, Seed: 7})
+	if a.Net.Routing.NumRules() != b.Net.Routing.NumRules() {
+		t.Fatalf("same seed, different rule counts: %d vs %d",
+			a.Net.Routing.NumRules(), b.Net.Routing.NumRules())
+	}
+	if a.Net.Labels.Len() != b.Net.Labels.Len() {
+		t.Fatal("same seed, different label tables")
+	}
+	c := FatTree(FatTreeOpts{K: 4, EdgeRouters: 5, Services: 2, Seed: 8})
+	if edgeNames(a) == edgeNames(c) {
+		t.Log("seeds 7 and 8 picked the same edge sample (unlikely but possible)")
+	}
+}
+
+func TestFatTreeConnectivityAndLSPs(t *testing.T) {
+	s := FatTree(FatTreeOpts{K: 4, Seed: 1})
+	for _, src := range s.Edge {
+		for _, dst := range s.Edge {
+			if src == dst {
+				continue
+			}
+			if gs := s.Net.Routing.Lookup(s.ExtIn[src], s.IPLabel[dst]); len(gs) == 0 {
+				t.Fatalf("no ingress rule %s -> %s",
+					s.Net.Topo.Routers[src].Name, s.Net.Topo.Routers[dst].Name)
+			}
+		}
+	}
+}
+
+func TestFatTreeRuleScaling(t *testing.T) {
+	k4 := FatTree(FatTreeOpts{K: 4, Seed: 1})
+	k8 := FatTree(FatTreeOpts{K: 8, Seed: 1})
+	if k8.Net.Routing.NumRules() <= 4*k4.Net.Routing.NumRules() {
+		t.Errorf("k=8 (%d rules) should dwarf k=4 (%d rules)",
+			k8.Net.Routing.NumRules(), k4.Net.Routing.NumRules())
+	}
+	svc := FatTree(FatTreeOpts{K: 4, Services: 3, Seed: 1})
+	if svc.Net.Routing.NumRules() <= k4.Net.Routing.NumRules() {
+		t.Error("Services knob does not scale fat-tree rules")
+	}
+	if len(svc.ServiceIn) == 0 {
+		t.Error("no service labels recorded")
+	}
+}
+
+func TestFatTreeForwardingSimulation(t *testing.T) {
+	s := FatTree(FatTreeOpts{K: 4, Seed: 2})
+	src, dst := s.Edge[0], s.Edge[3]
+	h := labels.Header{s.IPLabel[dst]}
+	delivered := false
+	s.Net.Enumerate(s.ExtIn[src], h, nil, 16, func(tr network.Trace) bool {
+		last := tr[len(tr)-1]
+		if last.Link == s.ExtOut[dst] && len(last.Header) == 1 &&
+			last.Header[0] == s.IPLabel[dst] {
+			delivered = true
+			return false
+		}
+		return true
+	})
+	if !delivered {
+		t.Fatal("packet not delivered across the fabric")
+	}
+}
+
+// ---- ring of rings --------------------------------------------------------
+
+func TestRingOfRingsShape(t *testing.T) {
+	s := RingOfRings(RingOfRingsOpts{Rings: 4, RingSize: 6, Seed: 1})
+	// 4 hubs + 4·6 ring routers + one stub per edge router (default: one
+	// edge per ring).
+	if got := s.Net.Topo.NumRouters(); got != 4+24+4 {
+		t.Errorf("routers = %d, want 32", got)
+	}
+	if got := len(s.Edge); got != 4 {
+		t.Errorf("edge routers = %d, want 4", got)
+	}
+}
+
+func TestRingOfRingsDeterministic(t *testing.T) {
+	a := RingOfRings(RingOfRingsOpts{Rings: 5, RingSize: 7, EdgeRouters: 8, Seed: 3})
+	b := RingOfRings(RingOfRingsOpts{Rings: 5, RingSize: 7, EdgeRouters: 8, Seed: 3})
+	if a.Net.Routing.NumRules() != b.Net.Routing.NumRules() ||
+		a.Net.Topo.NumLinks() != b.Net.Topo.NumLinks() {
+		t.Fatal("same seed, different networks")
+	}
+}
+
+func TestRingOfRingsConnectivityAndProtection(t *testing.T) {
+	s := RingOfRings(RingOfRingsOpts{Rings: 4, RingSize: 6, EdgeRouters: 6, Seed: 1})
+	for _, src := range s.Edge {
+		for _, dst := range s.Edge {
+			if src == dst {
+				continue
+			}
+			if gs := s.Net.Routing.Lookup(s.ExtIn[src], s.IPLabel[dst]); len(gs) == 0 {
+				t.Fatalf("no ingress rule %s -> %s",
+					s.Net.Topo.Routers[src].Name, s.Net.Topo.Routers[dst].Name)
+			}
+		}
+	}
+	// Every link sits on a cycle, so bypass tunnels must exist: at least
+	// one key carries a priority-2 group.
+	found := false
+	for _, key := range s.Net.Routing.Keys() {
+		if len(s.Net.Routing.Lookup(key.In, key.Top)) > 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no priority-2 group anywhere despite full cycle coverage")
+	}
+}
+
+func TestRingOfRingsFailoverSimulation(t *testing.T) {
+	s := RingOfRings(RingOfRingsOpts{Rings: 4, RingSize: 6, EdgeRouters: 6, Seed: 1})
+	src, dst := s.Edge[0], s.Edge[1]
+	gs := s.Net.Routing.Lookup(s.ExtIn[src], s.IPLabel[dst])
+	if len(gs) < 2 || len(gs[1].Entries) == 0 {
+		t.Skip("ingress hop has no protection on this seed")
+	}
+	primary := gs[0].Entries[0].Out
+	f := network.FailedSet{primary: true}
+	h := labels.Header{s.IPLabel[dst]}
+	delivered := false
+	s.Net.Enumerate(s.ExtIn[src], h, f, 40, func(tr network.Trace) bool {
+		last := tr[len(tr)-1]
+		if last.Link == s.ExtOut[dst] && len(last.Header) == 1 {
+			delivered = true
+			return false
+		}
+		return true
+	})
+	if !delivered {
+		t.Fatal("failover around the ring did not deliver the packet")
+	}
+}
+
+// ---- ISP backbone ---------------------------------------------------------
+
+func TestBackboneShape(t *testing.T) {
+	s := Backbone(BackboneOpts{Core: 6, Pops: 12, Seed: 1})
+	// 6 core + 12 PoPs + one stub per PoP (all PoPs are edges by default).
+	if got := s.Net.Topo.NumRouters(); got != 6+12+12 {
+		t.Errorf("routers = %d, want 30", got)
+	}
+	// Every PoP must be dual-homed: exactly two physical neighbours.
+	g := s.Net.Topo
+	for _, pe := range s.Edge {
+		cores := map[string]bool{}
+		for l := range g.Links {
+			if g.Links[l].From != pe {
+				continue
+			}
+			name := g.Routers[g.Links[l].To].Name
+			if name[0] == 'p' && name[1] != 'e' {
+				cores[name] = true
+			}
+		}
+		if len(cores) != 2 {
+			t.Errorf("PoP %s homed to %d cores, want 2", g.Routers[pe].Name, len(cores))
+		}
+	}
+}
+
+func TestBackboneDeterministicAndScaling(t *testing.T) {
+	a := Backbone(BackboneOpts{Core: 8, Pops: 20, EdgeRouters: 10, Seed: 4})
+	b := Backbone(BackboneOpts{Core: 8, Pops: 20, EdgeRouters: 10, Seed: 4})
+	if a.Net.Routing.NumRules() != b.Net.Routing.NumRules() ||
+		a.Net.Topo.NumLinks() != b.Net.Topo.NumLinks() {
+		t.Fatal("same seed, different networks")
+	}
+	small := Backbone(BackboneOpts{Core: 6, Pops: 8, Seed: 1})
+	big := Backbone(BackboneOpts{Core: 10, Pops: 40, Seed: 1})
+	if big.Net.Routing.NumRules() <= small.Net.Routing.NumRules() {
+		t.Error("backbone rules do not scale with size")
+	}
+	svc := Backbone(BackboneOpts{Core: 6, Pops: 8, Services: 4, Seed: 1})
+	if svc.Net.Routing.NumRules() <= small.Net.Routing.NumRules() {
+		t.Error("Services knob does not scale backbone rules")
+	}
+}
+
+func TestBackboneConnectivityAndLSPs(t *testing.T) {
+	s := Backbone(BackboneOpts{Core: 6, Pops: 12, Seed: 1})
+	for _, src := range s.Edge {
+		for _, dst := range s.Edge {
+			if src == dst {
+				continue
+			}
+			if gs := s.Net.Routing.Lookup(s.ExtIn[src], s.IPLabel[dst]); len(gs) == 0 {
+				t.Fatalf("no ingress rule %s -> %s",
+					s.Net.Topo.Routers[src].Name, s.Net.Topo.Routers[dst].Name)
+			}
+		}
+	}
+}
+
+func edgeNames(s *Synth) string {
+	out := ""
+	for _, r := range s.Edge {
+		out += s.Net.Topo.Routers[r].Name + ","
+	}
+	return out
+}

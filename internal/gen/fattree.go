@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aalwines/internal/network"
+	"aalwines/internal/topology"
+)
+
+// FatTreeOpts parameterises the k-ary fat-tree family: the canonical
+// three-tier Clos data-center fabric (Al-Fares et al., SIGCOMM 2008) with
+// (k/2)² core switches, k pods of k/2 aggregation and k/2 edge (ToR)
+// switches each. MPLS dataplane synthesis runs LSPs between the ToR
+// switches, which act as provider edges; the massive path diversity of the
+// fabric makes fast-reroute bypass tunnels exist for every core link, so
+// the family stresses the protection machinery far harder than the WAN
+// topologies do.
+type FatTreeOpts struct {
+	// K is the fat-tree arity; it must be even and ≥ 2 (default 4).
+	// K=8 yields 80 switches (16 core, 32 aggregation, 32 ToR).
+	K int
+	// EdgeRouters bounds how many ToR switches carry LSPs (0 = all of
+	// them, the paper-scale configuration).
+	EdgeRouters int
+	// Services is the number of service-label chains per edge pair.
+	Services int
+	Seed     int64
+}
+
+// FatTree builds the k-ary fat-tree with the standard MPLS dataplane
+// (all-pairs LSPs between the selected ToR switches, fast-reroute
+// protection, optional service chains).
+func FatTree(opts FatTreeOpts) *Synth {
+	k := opts.K
+	if k == 0 {
+		k = 4
+	}
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("gen: fat-tree arity %d must be even and >= 2", k))
+	}
+	h := k / 2
+	net := network.New(fmt.Sprintf("fattree-k%d", k))
+	g := net.Topo
+
+	// Core layer: h² switches, conceptually grouped in h groups of h.
+	core := make([]topology.RouterID, h*h)
+	for i := range core {
+		core[i] = g.AddRouter(fmt.Sprintf("c%d", i))
+		g.SetLocation(core[i], 56, float64(i))
+	}
+	// Pods: h aggregation and h edge switches each.
+	agg := make([][]topology.RouterID, k)
+	tor := make([][]topology.RouterID, k)
+	linkSeq := 0
+	addBoth := func(a, b topology.RouterID) {
+		// Interface names carry a sequence number so every directed link
+		// gets a distinct interface on both routers.
+		linkSeq++
+		g.MustAddLink(a, b, fmt.Sprintf("dn%d", linkSeq), fmt.Sprintf("up%d", linkSeq), 1)
+		g.MustAddLink(b, a, fmt.Sprintf("ur%d", linkSeq), fmt.Sprintf("dr%d", linkSeq), 1)
+	}
+	for p := 0; p < k; p++ {
+		agg[p] = make([]topology.RouterID, h)
+		tor[p] = make([]topology.RouterID, h)
+		for i := 0; i < h; i++ {
+			agg[p][i] = g.AddRouter(fmt.Sprintf("a%d-%d", p, i))
+			g.SetLocation(agg[p][i], 54, float64(p*h+i))
+		}
+		for i := 0; i < h; i++ {
+			tor[p][i] = g.AddRouter(fmt.Sprintf("e%d-%d", p, i))
+			g.SetLocation(tor[p][i], 52, float64(p*h+i))
+		}
+		// Full bipartite ToR ↔ aggregation inside the pod.
+		for i := 0; i < h; i++ {
+			for j := 0; j < h; j++ {
+				addBoth(tor[p][i], agg[p][j])
+			}
+		}
+		// Aggregation switch j uplinks to core group j.
+		for j := 0; j < h; j++ {
+			for m := 0; m < h; m++ {
+				addBoth(agg[p][j], core[j*h+m])
+			}
+		}
+	}
+
+	// Provider edges: the ToR switches, optionally subsampled.
+	all := make([]topology.RouterID, 0, k*h)
+	for p := 0; p < k; p++ {
+		all = append(all, tor[p]...)
+	}
+	edge := all
+	if opts.EdgeRouters > 0 && opts.EdgeRouters < len(all) {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		perm := rng.Perm(len(all))
+		edge = make([]topology.RouterID, 0, opts.EdgeRouters)
+		for _, i := range perm[:opts.EdgeRouters] {
+			edge = append(edge, all[i])
+		}
+	}
+	return synthesize(net, edge, SynthOpts{Protection: true, Services: opts.Services})
+}

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aalwines/internal/network"
+	"aalwines/internal/topology"
+)
+
+// RingOfRingsOpts parameterises the ring-of-rings family: a backbone ring
+// of hub routers, each anchoring a local access ring. Metro and regional
+// carrier networks are commonly built exactly like this (SDH/ethernet
+// rings stitched by a core ring), and the shape is adversarial for
+// fast-reroute: every link sits on a cycle, so a bypass always exists, but
+// it is the long way around the ring — bypass tunnels here are the longest
+// the synthesis ever emits.
+type RingOfRingsOpts struct {
+	// Rings is the number of local rings (= backbone hubs, default 6).
+	Rings int
+	// RingSize is the number of routers per local ring, hub excluded
+	// (default 8).
+	RingSize int
+	// EdgeRouters bounds how many local-ring routers carry LSPs
+	// (0 = one per ring).
+	EdgeRouters int
+	// Services is the number of service-label chains per edge pair.
+	Services int
+	Seed     int64
+}
+
+// RingOfRings builds the hierarchical ring topology with the standard MPLS
+// dataplane. Each local ring is dual-attached to its hub (at positions 0
+// and RingSize/2) so single link failures never partition the network.
+func RingOfRings(opts RingOfRingsOpts) *Synth {
+	r := opts.Rings
+	if r == 0 {
+		r = 6
+	}
+	m := opts.RingSize
+	if m == 0 {
+		m = 8
+	}
+	if r < 3 || m < 3 {
+		panic(fmt.Sprintf("gen: ring-of-rings needs >=3 rings of >=3 routers, got %dx%d", r, m))
+	}
+	net := network.New(fmt.Sprintf("rings-%dx%d", r, m))
+	g := net.Topo
+
+	linkSeq := 0
+	addBoth := func(a, b topology.RouterID, w uint64) {
+		linkSeq++
+		g.MustAddLink(a, b, fmt.Sprintf("cw%d", linkSeq), fmt.Sprintf("aw%d", linkSeq), w)
+		g.MustAddLink(b, a, fmt.Sprintf("cc%d", linkSeq), fmt.Sprintf("ac%d", linkSeq), w)
+	}
+
+	hubs := make([]topology.RouterID, r)
+	for i := range hubs {
+		hubs[i] = g.AddRouter(fmt.Sprintf("h%d", i))
+		g.SetLocation(hubs[i], 50, float64(i)*3)
+	}
+	// Backbone ring (heavier links: the core spans longer distances).
+	for i := 0; i < r; i++ {
+		addBoth(hubs[i], hubs[(i+1)%r], 10)
+	}
+	local := make([][]topology.RouterID, r)
+	for i := 0; i < r; i++ {
+		local[i] = make([]topology.RouterID, m)
+		for j := 0; j < m; j++ {
+			local[i][j] = g.AddRouter(fmt.Sprintf("r%d-%d", i, j))
+			g.SetLocation(local[i][j], 48-float64(j)*0.2, float64(i)*3)
+		}
+		for j := 0; j < m; j++ {
+			addBoth(local[i][j], local[i][(j+1)%m], 1)
+		}
+		// Dual attachment: hub joins the ring at opposite points.
+		addBoth(hubs[i], local[i][0], 2)
+		addBoth(hubs[i], local[i][m/2], 2)
+	}
+
+	// Provider edges: a deterministic sample of local-ring routers.
+	want := opts.EdgeRouters
+	if want == 0 {
+		want = r
+	}
+	all := make([]topology.RouterID, 0, r*m)
+	for i := 0; i < r; i++ {
+		all = append(all, local[i]...)
+	}
+	if want > len(all) {
+		want = len(all)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(len(all))
+	edge := make([]topology.RouterID, 0, want)
+	for _, i := range perm[:want] {
+		edge = append(edge, all[i])
+	}
+	return synthesize(net, edge, SynthOpts{Protection: true, Services: opts.Services})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"aalwines/internal/labels"
 	"aalwines/internal/network"
@@ -44,6 +45,14 @@ type Synth struct {
 	// ServiceIn records the synthesised service chains (used to build
 	// Table 1 style queries).
 	ServiceIn []Service
+
+	// pairT caches the first tunnel label per src/dst pair so the
+	// per-service pairTunnel calls skip the name-concat lookup, and buf is
+	// the scratch buffer label names are assembled in (the paper-scale
+	// networks intern >10⁵ labels; building each name with fmt.Sprintf
+	// dominated synthesis allocations).
+	pairT map[string]labels.ID
+	buf   []byte
 }
 
 // Service describes one synthesised service-label chain.
@@ -63,6 +72,7 @@ func synthesize(net *network.Network, edge []topology.RouterID, opts SynthOpts) 
 		ExtIn:   map[topology.RouterID]topology.LinkID{},
 		ExtOut:  map[topology.RouterID]topology.LinkID{},
 		IPLabel: map[topology.RouterID]labels.ID{},
+		pairT:   map[string]labels.ID{},
 	}
 	g := net.Topo
 	for _, r := range edge {
@@ -80,6 +90,22 @@ func synthesize(net *network.Network, edge []topology.RouterID, opts SynthOpts) 
 	for _, r := range edge {
 		trees[r] = g.ShortestPathsFrom(r)
 	}
+
+	// Pre-size the routing key index and the label intern index from the
+	// total LSP path length: each path hop contributes a bounded number of
+	// keys and labels per LSP/service chain, so this lands within a small
+	// factor of the final sizes and avoids incremental map growth at the
+	// >250k-rule scale.
+	totalHops := 0
+	for _, src := range edge {
+		for _, dst := range edge {
+			if src != dst {
+				totalHops += len(trees[src].To(dst))
+			}
+		}
+	}
+	net.Routing.Reserve(totalHops * (1 + opts.Services))
+	net.Labels.Reserve(totalHops + len(edge)*len(edge)*3*opts.Services)
 
 	// Per-link bypass tunnels, built on demand and shared by every LSP
 	// protecting that link.
@@ -208,12 +234,19 @@ func (s *Synth) addLSP(src, dst topology.RouterID, path []topology.LinkID, opts 
 func (s *Synth) addService(src, dst topology.RouterID, path []topology.LinkID, j int, opts SynthOpts, bypass map[topology.LinkID]*bypassTunnel) {
 	net := s.Net
 	m := len(path)
-	pair := fmt.Sprintf("%s_%s", net.Topo.Routers[src].Name, net.Topo.Routers[dst].Name)
-	mk := func(role string) labels.ID {
-		return net.Labels.MustIntern(
-			fmt.Sprintf("$%d%s%s", 400000+j*7, role, pair), labels.BottomMPLS)
+	pair := net.Topo.Routers[src].Name + "_" + net.Topo.Routers[dst].Name
+	// Service label names ("$<num><role><pair>") are assembled in the
+	// shared scratch buffer: this runs pairs × Services × 3 times, the
+	// hottest interning loop of paper-scale synthesis.
+	mk := func(role byte) labels.ID {
+		b := append(s.buf[:0], '$')
+		b = strconv.AppendInt(b, int64(400000+j*7), 10)
+		b = append(b, role)
+		b = append(b, pair...)
+		s.buf = b
+		return net.Labels.MustInternBytes(b, labels.BottomMPLS)
 	}
-	in, transit, out := mk("a"), mk("w"), mk("b")
+	in, transit, out := mk('a'), mk('w'), mk('b')
 	if j == 0 {
 		s.ServiceIn = append(s.ServiceIn, Service{Src: src, Dst: dst, In: in})
 	}
@@ -237,12 +270,11 @@ func (s *Synth) addService(src, dst topology.RouterID, path []topology.LinkID, j
 // MPLS labels along the path, with PHP popping, and returns the first
 // tunnel label. Requires len(path) ≥ 2.
 func (s *Synth) pairTunnel(pair string, path []topology.LinkID, opts SynthOpts, bypass map[topology.LinkID]*bypassTunnel) labels.ID {
-	net := s.Net
-	m := len(path)
-	first := net.Labels.Lookup("T" + pair + "_1")
-	if first != labels.None {
+	if first, ok := s.pairT[pair]; ok {
 		return first // already built
 	}
+	net := s.Net
+	m := len(path)
 	tun := make([]labels.ID, m-1)
 	for i := range tun {
 		tun[i] = net.Labels.MustIntern(fmt.Sprintf("T%s_%d", pair, i+1), labels.MPLS)
@@ -252,6 +284,7 @@ func (s *Synth) pairTunnel(pair string, path []topology.LinkID, opts SynthOpts, 
 			routing.Ops{routing.Swap(tun[i])}, opts, bypass)
 	}
 	s.addProtected(path[m-2], tun[m-2], path[m-1], routing.Ops{routing.Pop()}, opts, bypass)
+	s.pairT[pair] = tun[0]
 	return tun[0]
 }
 

@@ -108,6 +108,55 @@ func (t *Table) MustIntern(name string, kind Kind) ID {
 	return id
 }
 
+// InternBytes is Intern for callers that assemble label names in a reused
+// byte buffer. The hit path goes through the compiler's map[string(b)]
+// lookup optimisation and allocates nothing; only a genuinely new label
+// pays for the string conversion. Paper-scale synthesis interns hundreds
+// of thousands of labels through here.
+func (t *Table) InternBytes(name []byte, kind Kind) (ID, error) {
+	if t.byName == nil {
+		t.byName = make(map[string]ID)
+	}
+	if id, ok := t.byName[string(name)]; ok {
+		if got := t.all[id-1].Kind; got != kind {
+			return None, fmt.Errorf("labels: %q already interned with kind %v, not %v", name, got, kind)
+		}
+		return id, nil
+	}
+	s := string(name)
+	id := ID(len(t.all) + 1)
+	t.all = append(t.all, Label{ID: id, Name: s, Kind: kind})
+	t.byName[s] = id
+	t.counts[kind]++
+	return id, nil
+}
+
+// MustInternBytes is InternBytes that panics on kind conflicts.
+func (t *Table) MustInternBytes(name []byte, kind Kind) ID {
+	id, err := t.InternBytes(name, kind)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Reserve pre-sizes the intern index for about n labels, rehashing any
+// labels interned so far into the larger index. Generators call it up
+// front with their size estimate to avoid incremental map growth.
+func (t *Table) Reserve(n int) {
+	if len(t.all) >= n {
+		return
+	}
+	m := make(map[string]ID, n)
+	for k, v := range t.byName {
+		m[k] = v
+	}
+	t.byName = m
+	all := make([]Label, len(t.all), n)
+	copy(all, t.all)
+	t.all = all
+}
+
 // InternGuess interns a label, deriving its kind from the paper's naming
 // convention: names starting with "s" followed by a digit are bottom-of-
 // stack MPLS labels, names starting with "ip" (or containing a dot, as in
@@ -133,6 +182,12 @@ func GuessKind(name string) Kind {
 // Lookup returns the ID for name, or None if the name has not been interned.
 func (t *Table) Lookup(name string) ID {
 	return t.byName[name]
+}
+
+// LookupBytes is Lookup for a name held in a byte buffer; it never
+// allocates.
+func (t *Table) LookupBytes(name []byte) ID {
+	return t.byName[string(name)]
 }
 
 // Get returns the label for an ID. It panics on IDs not issued by this

@@ -146,8 +146,32 @@ type Auto struct {
 	probes  int64
 }
 
-// edgeChunkSize is the bump-arena chunk length; 1024 edges ≈ 40 KiB.
-const edgeChunkSize = 1024
+// edgeChunkSize is the minimum bump-arena chunk length; 1024 edges ≈ 40
+// KiB. maxEdgeChunk caps the adaptive growth below (a few MiB per chunk).
+const (
+	edgeChunkSize = 1024
+	maxEdgeChunk  = 1 << 16
+)
+
+// nextChunkLen sizes a fresh arena chunk, at least nc. The chunk length
+// scales with the transitions inserted so far: small saturations stay at
+// the 40 KiB minimum, while paper-scale runs (hundreds of thousands of
+// transitions) hand out proportionally larger chunks so the number of
+// allocator calls grows logarithmically rather than linearly with the
+// automaton.
+func (a *Auto) nextChunkLen(nc int) int {
+	n := edgeChunkSize
+	if t := a.numTrans / 4; t > n {
+		n = t
+	}
+	if n > maxEdgeChunk {
+		n = maxEdgeChunk
+	}
+	if n < nc {
+		n = nc
+	}
+	return n
+}
 
 // growEdges gives s's out-list capacity for at least one more edge,
 // copying it into fresh arena space (geometric growth, so each edge is
@@ -158,10 +182,7 @@ func (a *Auto) growEdges(se *stateEdges) {
 		nc = 4
 	}
 	if len(a.edgeChunk) < nc {
-		n := edgeChunkSize
-		if n < nc {
-			n = nc
-		}
+		n := a.nextChunkLen(nc)
 		a.edgeChunk = make([]Edge, n)
 		a.metaChunk = make([]edgeMeta, n)
 	}

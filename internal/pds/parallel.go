@@ -222,7 +222,7 @@ func (p *parPool) speculate(pds *PDS, a *Auto) {
 // edges filter into the worker's arena.
 func matchRules(p *PDS, a *Auto, from State, sym Sym, ma *matchArena) ([]int32, int64) {
 	if set := a.SymSet(sym); set != nil {
-		rs := p.byState[from]
+		rs := p.stateIdx[p.stateOff[from]:p.stateOff[from+1]]
 		out := ma.alloc(len(rs))
 		for _, ri := range rs {
 			if set.Has(nfa.Sym(p.Rules[ri].FromSym)) {
@@ -231,6 +231,7 @@ func matchRules(p *PDS, a *Auto, from State, sym Sym, ma *matchArena) ([]int32, 
 		}
 		return out, int64(len(rs))
 	}
-	rs := p.byHead[headKey(from, sym)]
+	hr := p.byHead[headKey(from, sym)]
+	rs := p.headIdx[hr.off : hr.off+hr.n]
 	return rs, int64(len(rs))
 }

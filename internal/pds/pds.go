@@ -72,12 +72,22 @@ type PDS struct {
 	NumSyms   int
 	Rules     []Rule
 
-	// byHead indexes rules by (FromState, FromSym), packed into one
-	// uint64 key (cheaper to hash than a struct key); built lazily.
-	byHead map[uint64][]int32
-	// byState indexes rules by FromState; built lazily.
-	byState [][]int32
+	// Packed rule indexes, built by Freeze or lazily on first use. Both
+	// are CSR-style: one flat int32 array of rule indices plus offsets,
+	// instead of the previous map-of-slices/slice-of-slices layout whose
+	// per-head slice headers and append regrowth dominated index memory at
+	// paper scale. stateIdx[stateOff[s]:stateOff[s+1]] lists the rules
+	// headed at state s; headIdx[r.off:r.off+r.n] those headed at a packed
+	// (state, symbol) pair — both in ascending rule order, which callers
+	// rely on for deterministic saturation.
+	stateOff []int32
+	stateIdx []int32
+	byHead   map[uint64]headRange
+	headIdx  []int32
 }
+
+// headRange locates one head's rules inside headIdx.
+type headRange struct{ off, n int32 }
 
 // headKey packs a rule head into a collision-free map key: states and
 // symbols are both 32-bit.
@@ -106,8 +116,20 @@ func (p *PDS) AddRule(r Rule) {
 		panic(fmt.Sprintf("pds: rule %v references symbol outside [0,%d)", r, p.NumSyms))
 	}
 	p.Rules = append(p.Rules, r)
-	p.byHead = nil
-	p.byState = nil
+	p.stateOff, p.stateIdx = nil, nil
+	p.byHead, p.headIdx = nil, nil
+}
+
+// ReserveRules pre-sizes the rule slice for about n rules. Translation
+// knows the network's rule count up front; reserving once avoids the
+// append-doubling churn that dominated build allocations at paper scale.
+func (p *PDS) ReserveRules(n int) {
+	if cap(p.Rules) >= n {
+		return
+	}
+	rules := make([]Rule, len(p.Rules), n)
+	copy(rules, p.Rules)
+	p.Rules = rules
 }
 
 // Freeze eagerly builds the rule indexes. A PDS shared by concurrent
@@ -116,39 +138,76 @@ func (p *PDS) AddRule(r Rule) {
 // on first use, which is a data race when two saturators hit the same cold
 // index. AddRule after Freeze re-enters the lazy regime.
 func (p *PDS) Freeze() {
-	p.byState = make([][]int32, p.NumStates)
-	p.byHead = make(map[uint64][]int32, len(p.Rules))
+	p.buildStateIdx()
+	p.buildHeadIdx()
+}
+
+// buildStateIdx builds the by-state CSR: counting pass, prefix sums, then
+// a fill pass in rule order (which keeps each state's list ascending).
+func (p *PDS) buildStateIdx() {
+	off := make([]int32, p.NumStates+1)
+	for i := range p.Rules {
+		off[p.Rules[i].FromState+1]++
+	}
+	for s := 0; s < p.NumStates; s++ {
+		off[s+1] += off[s]
+	}
+	idx := make([]int32, len(p.Rules))
+	cur := make([]int32, p.NumStates)
+	copy(cur, off[:p.NumStates])
 	for i := range p.Rules {
 		f := p.Rules[i].FromState
-		p.byState[f] = append(p.byState[f], int32(i))
-		k := headKey(f, p.Rules[i].FromSym)
-		p.byHead[k] = append(p.byHead[k], int32(i))
+		idx[cur[f]] = int32(i)
+		cur[f]++
 	}
+	p.stateOff, p.stateIdx = off, idx
+}
+
+// buildHeadIdx builds the by-head index: per-head counts, offsets into one
+// flat array, then a fill pass in rule order. The map holds fixed-size
+// ranges, not slices, so there is exactly one backing allocation however
+// many heads exist.
+func (p *PDS) buildHeadIdx() {
+	byHead := make(map[uint64]headRange, len(p.Rules))
+	for i := range p.Rules {
+		k := headKey(p.Rules[i].FromState, p.Rules[i].FromSym)
+		hr := byHead[k]
+		hr.n++
+		byHead[k] = hr
+	}
+	var off int32
+	for k, hr := range byHead {
+		n := hr.n
+		byHead[k] = headRange{off: off, n: 0}
+		off += n
+	}
+	idx := make([]int32, len(p.Rules))
+	for i := range p.Rules {
+		k := headKey(p.Rules[i].FromState, p.Rules[i].FromSym)
+		hr := byHead[k]
+		idx[hr.off+hr.n] = int32(i)
+		hr.n++
+		byHead[k] = hr
+	}
+	p.byHead, p.headIdx = byHead, idx
 }
 
 // RulesFromState returns the indices of rules whose head state is s; used
 // when matching rules against symbol-set transitions.
 func (p *PDS) RulesFromState(s State) []int32 {
-	if p.byState == nil {
-		p.byState = make([][]int32, p.NumStates)
-		for i := range p.Rules {
-			f := p.Rules[i].FromState
-			p.byState[f] = append(p.byState[f], int32(i))
-		}
+	if p.stateOff == nil {
+		p.buildStateIdx()
 	}
-	return p.byState[s]
+	return p.stateIdx[p.stateOff[s]:p.stateOff[s+1]]
 }
 
 // RulesFrom returns the indices of rules with head ⟨s,γ⟩.
 func (p *PDS) RulesFrom(s State, g Sym) []int32 {
 	if p.byHead == nil {
-		p.byHead = make(map[uint64][]int32, len(p.Rules))
-		for i := range p.Rules {
-			k := headKey(p.Rules[i].FromState, p.Rules[i].FromSym)
-			p.byHead[k] = append(p.byHead[k], int32(i))
-		}
+		p.buildHeadIdx()
 	}
-	return p.byHead[headKey(s, g)]
+	hr := p.byHead[headKey(s, g)]
+	return p.headIdx[hr.off : hr.off+hr.n]
 }
 
 // Stats summarises a PDS for diagnostics and the reduction reports.

@@ -152,3 +152,74 @@ func TestZeroValueTable(t *testing.T) {
 		t.Fatal("Add on zero-value table lost the entry")
 	}
 }
+
+// TestFlatViewInvalidation checks that the cached flat view tracks
+// mutations: Keys/Range/TopLabelsFor/NumRules must reflect every Add and
+// SetGroups, whether they land on a cold or an already-built view.
+func TestFlatViewInvalidation(t *testing.T) {
+	rt, _, m, links := protTable(t)
+	if got := len(rt.Keys()); got != 1 {
+		t.Fatalf("keys = %d, want 1", got)
+	}
+	// View is now built; a further Add must drop and rebuild it.
+	rt.MustAdd(links["e4"], m["s21"], 1, Entry{Out: links["e5"], Ops: Ops{Pop()}})
+	if got := len(rt.Keys()); got != 2 {
+		t.Fatalf("keys after Add = %d, want 2", got)
+	}
+	if got := rt.NumRules(); got != 3 {
+		t.Fatalf("rules = %d, want 3", got)
+	}
+	if tops := rt.TopLabelsFor(links["e4"]); len(tops) != 1 || tops[0] != m["s21"] {
+		t.Fatalf("TopLabelsFor(e4) = %v", tops)
+	}
+	// Range order must match Keys order, with aligned groups.
+	var seen []Key
+	rt.Range(func(k Key, gs Groups) bool {
+		seen = append(seen, k)
+		if len(gs) == 0 {
+			t.Fatalf("empty groups for %v", k)
+		}
+		return true
+	})
+	keys := rt.Keys()
+	if len(seen) != len(keys) {
+		t.Fatalf("Range visited %d keys, Keys has %d", len(seen), len(keys))
+	}
+	for i := range keys {
+		if seen[i] != keys[i] {
+			t.Fatalf("order mismatch at %d: %v vs %v", i, seen[i], keys[i])
+		}
+	}
+	// SetGroups removal invalidates too.
+	rt.SetGroups(links["e4"], m["s21"], nil)
+	if got := len(rt.Keys()); got != 1 {
+		t.Fatalf("keys after removal = %d, want 1", got)
+	}
+	// Early-exit Range.
+	n := 0
+	rt.Range(func(Key, Groups) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early exit visited %d", n)
+	}
+}
+
+// TestTopLabelsForColdAndWarm checks the scan fallback (no view) and the
+// binary-search path (view built) agree.
+func TestTopLabelsForColdAndWarm(t *testing.T) {
+	rt, _, m, links := protTable(t)
+	rt.MustAdd(links["e4"], m["s21"], 1, Entry{Out: links["e5"], Ops: Ops{Pop()}})
+	cold := rt.TopLabelsFor(links["e1"])
+	rt.Keys() // build the view
+	warm := rt.TopLabelsFor(links["e1"])
+	if len(cold) != len(warm) {
+		t.Fatalf("cold %v vs warm %v", cold, warm)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("cold %v vs warm %v", cold, warm)
+		}
+	}
+	if tops := rt.TopLabelsFor(links["e5"]); tops != nil {
+		t.Fatalf("expected nil for linkless key, got %v", tops)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"aalwines/internal/nfa"
 	"aalwines/internal/obs"
 	"aalwines/internal/query"
+	"aalwines/internal/routing"
 	"aalwines/internal/topology"
 )
 
@@ -97,8 +98,7 @@ func ComputeSlice(net *network.Network, q *query.Query) *Slice {
 	k := q.MaxFailures
 	outs := make([][]topology.LinkID, nl)
 	seen := make([]int, nl) // per-out-link dedup stamp, generation = in-link+1
-	for _, key := range net.Routing.Keys() {
-		gs := net.Routing.Lookup(key.In, key.Top)
+	net.Routing.Range(func(key routing.Key, gs routing.Groups) bool {
 		gen := int(key.In) + 1
 		for j := range gs {
 			if len(gs.PrefixLinks(j)) > k {
@@ -111,7 +111,8 @@ func ComputeSlice(net *network.Network, q *query.Query) *Slice {
 				}
 			}
 		}
-	}
+		return true
+	})
 
 	// Forward closure from the pairs the initial automaton seeds: link e
 	// with δ_B(q₀, e) ∋ q₁.

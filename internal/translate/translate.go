@@ -116,6 +116,11 @@ type builder struct {
 	dedup   map[ruleKey]bool
 	slice   *Slice
 
+	// Scratch buffers reused across buildEntry calls (the per-call map and
+	// slice allocations dominated the translation profile at paper scale).
+	seenTargets map[int]bool
+	targets     []int
+
 	// Incremental-build hooks (nil for a plain Build): store caches
 	// relocatable per-key rule blocks, version maps a routing key to the
 	// content version its cached block must match, stats tallies reuse.
@@ -183,6 +188,13 @@ func (b *builder) construct() {
 	if b.Opts.Slice && b.store == nil {
 		b.slice = ComputeSlice(net, q)
 	}
+	if b.slice == nil {
+		// Unsliced builds emit at least one PDS rule per routing entry
+		// (usually a few); reserving the known lower bound up front skips
+		// the early append-doubling generations, which at >250k rules are
+		// the single largest allocation source of a build.
+		b.PDS.ReserveRules(net.Routing.NumRules())
+	}
 	b.buildRules()
 	if b.slice != nil {
 		b.System.SliceStats = b.slice.Stats
@@ -239,38 +251,54 @@ type symStack struct {
 }
 
 func (b *builder) buildRules() {
-	for _, key := range b.Net.Routing.Keys() {
+	// Range walks the table's cached flat view: no per-build key-slice
+	// allocation and sort, no per-key map lookup — at paper scale the
+	// Keys-then-Lookup pattern alone costs hundreds of milliseconds per
+	// query. Iteration order is identical to Keys, so emission order (and
+	// with it every saturation counter) is unchanged.
+	b.Net.Routing.Range(func(key routing.Key, gs routing.Groups) bool {
 		if b.store != nil {
 			ver := b.version(key)
 			if blk := b.store.get(key, ver); blk != nil {
 				b.splice(blk)
 				b.stats.BlocksReused++
-				continue
+				return true
 			}
 			b.store.put(key, ver, b.record(key))
 			b.stats.BlocksRebuilt++
-			continue
+			return true
 		}
 		if b.slice != nil {
 			if !b.slice.LiveLink(key.In) {
 				b.slice.Stats.KeysDropped++
-				continue
+				return true
 			}
 			b.slice.Stats.KeysKept++
 		}
-		b.buildKey(key)
-	}
+		b.buildKeyGroups(key, gs)
+		return true
+	})
 }
 
-// buildKey emits all rules of one routing-table key. The dedup map is
+// buildKey emits all rules of one routing-table key.
+func (b *builder) buildKey(key routing.Key) {
+	b.buildKeyGroups(key, b.Net.Routing.Lookup(key.In, key.Top))
+}
+
+// buildKeyGroups emits all rules of one routing-table key. The dedup map is
 // per-key: rules from different keys never collide (tags are globally
 // unique across used entries, and chain states are fresh per chain), so a
 // key-scoped map yields the same rule list as a build-global one while
-// making each key's emission independently cacheable.
-func (b *builder) buildKey(key routing.Key) {
+// making each key's emission independently cacheable. The map itself is
+// owned by the builder and cleared between keys: one allocation per build
+// instead of one per key (a quarter-million at paper scale).
+func (b *builder) buildKeyGroups(key routing.Key, gs routing.Groups) {
 	k := b.Query.MaxFailures
-	b.dedup = make(map[ruleKey]bool)
-	gs := b.Net.Routing.Lookup(key.In, key.Top)
+	if b.dedup == nil {
+		b.dedup = make(map[ruleKey]bool, 64)
+	} else {
+		clear(b.dedup)
+	}
 	for j := range gs {
 		mustFail := gs.PrefixLinks(j)
 		if len(mustFail) > k {
@@ -304,15 +332,20 @@ func (b *builder) buildEntry(in topology.LinkID, top labels.ID, entry routing.En
 		// iteration order would make the rule order — and hence tie-breaks
 		// among equally minimal witnesses — vary between builds of the same
 		// (network, query), and batch results must reproduce serial ones.
-		seen := map[int]bool{}
-		var targets []int
+		if b.seenTargets == nil {
+			b.seenTargets = make(map[int]bool, 8)
+		} else {
+			clear(b.seenTargets)
+		}
+		targets := b.targets[:0]
 		for _, arc := range b.pathNFA.Arcs(qb) {
-			if arc.Set.Has(linkSym) && !seen[arc.To] {
-				seen[arc.To] = true
+			if arc.Set.Has(linkSym) && !b.seenTargets[arc.To] {
+				b.seenTargets[arc.To] = true
 				targets = append(targets, arc.To)
 			}
 		}
 		sort.Ints(targets)
+		b.targets = targets
 		for _, q2 := range targets {
 			for f := 0; f < b.kBudget; f++ {
 				f2 := f
