@@ -26,6 +26,16 @@
 // per invariant, the verdict distribution and the minimal breaking
 // failure sets.
 //
+// With -live FILE the queries become invariants and the tool replays a
+// routing-update feed (one event per line: JSON objects like
+// {"type":"link-down","link":"..."} or bare delta commands, "flush"
+// forcing a batch boundary, "-" reading stdin) against a long-lived
+// session, re-verifying every invariant at each flush and reporting every
+// verdict transition plus the final state. It is the offline twin of
+// aalwinesd -feed: the same ingestion pipeline, run to EOF with
+// deterministic flush points (flush events and EOF only; no debounce
+// timer).
+//
 // Examples:
 //
 //	aalwines -net running-example -query '<ip> [.#v0] .* [v3#.] <ip> 0'
@@ -36,6 +46,7 @@
 //	aalwines -net zoo -routers 84 -queries what-if.q -j 4 -json
 //	aalwines -net running-example -scenario outage.wif -queries what-if.q -json
 //	aalwines -net running-example -sweep -sweep-depth 2 -queries invariants.q
+//	aalwines -net running-example -live updates.feed -queries invariants.q -json
 //	aalwines -net zoo -routers 84 -write-topology topo.xml -write-routing route.xml
 package main
 
@@ -45,14 +56,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"aalwines/internal/batch"
 	"aalwines/internal/cli"
 	"aalwines/internal/engine"
+	"aalwines/internal/live"
 	"aalwines/internal/loc"
 	"aalwines/internal/moped"
+	"aalwines/internal/network"
 	"aalwines/internal/obs"
 	"aalwines/internal/scenario"
 	"aalwines/internal/sweep"
@@ -87,6 +102,7 @@ func run() error {
 	workers := flag.Int("j", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
 	flag.IntVar(workers, "parallel", 0, "alias for -j")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query wall-clock deadline for -queries batches (0 = none)")
+	liveFile := flag.String("live", "", "replay a routing-update feed (\"-\" = stdin) against the invariants and report verdict transitions")
 	sweepMode := flag.Bool("sweep", false, "resilience sweep: verify every query under every single/double link failure")
 	sweepDepth := flag.Int("sweep-depth", 1, "failure-space depth for -sweep: 1 = single links, 2 = singles + pairs")
 	sweepCells := flag.Bool("sweep-cells", false, "embed the full per-cell grid in -sweep -json output")
@@ -191,6 +207,26 @@ func run() error {
 		return fmt.Errorf("unknown engine %q", *engineName)
 	}
 
+	if *liveFile != "" {
+		if *sweepMode || *dotOut != "" || sess != nil {
+			return fmt.Errorf("-live cannot be combined with -sweep, -scenario or -dot")
+		}
+		var texts []string
+		if *queriesFile != "" {
+			texts, err = readQueries(*queriesFile)
+			if err != nil {
+				return err
+			}
+		}
+		if *queryText != "" {
+			texts = append(texts, *queryText)
+		}
+		if len(texts) == 0 {
+			return fmt.Errorf("-live needs invariants: give -query or -queries")
+		}
+		return runLive(*liveFile, net, texts, opts, *workers, *asJSON)
+	}
+
 	if *sweepMode {
 		if *dotOut != "" {
 			return fmt.Errorf("-dot is not supported with -sweep")
@@ -275,6 +311,124 @@ func run() error {
 		}
 	}
 	return cli.PrintResult(os.Stdout, net, *queryText, res, *asJSON)
+}
+
+// liveReport is the -live -json output: the replay totals, every flush
+// boundary, the invariants' initial states, every verdict transition in
+// order, and the final cells.
+type liveReport struct {
+	Feed        string            `json:"feed"`
+	Network     string            `json:"network"`
+	Stats       live.ReplayStats  `json:"stats"`
+	Flushes     []live.FlushInfo  `json:"flushes"`
+	Initial     []live.Cell       `json:"initial"`
+	Transitions []live.WatchEvent `json:"transitions,omitempty"`
+	Final       []live.Cell       `json:"final"`
+}
+
+// runLive replays a routing-update feed against a fresh session, watching
+// every invariant, and reports the transitions. Flushes happen only at
+// explicit flush events, the burst cap and EOF — no debounce timer — so a
+// given feed always produces the same report.
+func runLive(feedPath string, net *network.Network, texts []string, eopts engine.Options, workers int, asJSON bool) error {
+	var r io.Reader
+	if feedPath == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(feedPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	sess := scenario.NewSession(net)
+	defer sess.Close()
+	hub := live.NewHub(sess, live.HubOptions{Engine: eopts, Workers: workers})
+	defer hub.Close("replay-done")
+	ctx := context.Background()
+	w, err := hub.AddWatch(ctx, texts, 4096)
+	if err != nil {
+		return err
+	}
+
+	var flushes []live.FlushInfo
+	ing := live.NewIngester(sess, live.Options{
+		Hub: hub,
+		OnFlush: func(info live.FlushInfo) {
+			flushes = append(flushes, info)
+			if !asJSON {
+				fmt.Printf("flush #%d: %d events -> stack %d (fp %s), %d changed, reverify %.1fms\n",
+					info.Seq, info.Events, info.StackLen, info.Fingerprint, info.Changed, info.ReverifyMS)
+			}
+		},
+	})
+	stats, err := ing.Run(ctx, r)
+	if err != nil {
+		return err
+	}
+
+	// Everything is queued by now: one bounded drain collects the initial
+	// states (seq 0) and every transition, in order.
+	var initial []live.Cell
+	var transitions []live.WatchEvent
+	evs, _ := w.Next(ctx, time.Millisecond)
+	for _, ev := range evs {
+		switch {
+		case ev.Type == "gap":
+			return fmt.Errorf("watch queue overflowed: %d events lost (too many transitions for the report buffer)", ev.Dropped)
+		case ev.Type != "verdict":
+		case ev.Seq == 0:
+			initial = append(initial, *ev.Cell)
+		default:
+			transitions = append(transitions, ev)
+		}
+	}
+
+	rep := liveReport{
+		Feed:        feedPath,
+		Network:     net.Name,
+		Stats:       stats,
+		Flushes:     flushes,
+		Initial:     initial,
+		Transitions: transitions,
+		Final:       hub.Cells(),
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("replayed %s: %d events (%d errors), %d flushes, %d verdict changes\n",
+			feedPath, stats.Events, stats.Errors, stats.Flushes, stats.Changed)
+		fmt.Println("initial:")
+		for _, c := range initial {
+			printCell(c)
+		}
+		for _, ev := range transitions {
+			fmt.Printf("flush #%d (fp %s) changed:\n", ev.Seq, ev.Fingerprint)
+			printCell(*ev.Cell)
+		}
+		fmt.Println("final:")
+		for _, c := range rep.Final {
+			printCell(c)
+		}
+	}
+	if stats.Errors > 0 {
+		return fmt.Errorf("%d feed lines failed to parse or validate", stats.Errors)
+	}
+	return nil
+}
+
+func printCell(c live.Cell) {
+	if c.Error != "" {
+		fmt.Printf("  error(%s)   %s: %s\n", c.Code, c.Query, c.Error)
+		return
+	}
+	fmt.Printf("  %-11s %s\n", c.Verdict, c.Query)
 }
 
 // readQueries reads one query per line; blank lines and lines starting

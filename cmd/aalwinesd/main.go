@@ -14,12 +14,24 @@
 // the scenario-session routes
 // (POST/GET /api/v1/sessions, GET/DELETE /api/v1/sessions/{id},
 // POST /api/v1/sessions/{id}/deltas, DELETE /api/v1/sessions/{id}/deltas/{seq},
-// POST /api/v1/sessions/{id}/verify{,-batch}), GET /metrics (Prometheus
-// text) and GET /healthz. The pre-versioning /api/* paths still answer,
-// with a Deprecation header and a Link to their successor. Errors on every
-// route share one JSON envelope ({code, message, details, stats?}); see
-// internal/httpapi for the schema and cmd/apicontract for the golden-file
-// contract check.
+// POST /api/v1/sessions/{id}/verify{,-batch}), the watch routes
+// (POST/GET /api/v1/sessions/{id}/watch,
+// DELETE /api/v1/sessions/{id}/watch/{wid},
+// GET /api/v1/sessions/{id}/watch/{wid}/events — SSE, or NDJSON with
+// ?format=ndjson), GET /metrics (Prometheus text) and GET /healthz. The
+// pre-versioning /api/* paths answer 410 Gone with a successor Link
+// unless -legacy-api restores them with a Deprecation header. Errors on
+// every route share one JSON envelope ({code, message, details, stats?});
+// see internal/httpapi for the schema and cmd/apicontract for the
+// golden-file contract check.
+//
+// With -feed the daemon opens a long-lived session on the builtin network
+// and streams routing updates into it from a file, FIFO, or stdin ("-"):
+// one event per line, either a JSON object ({"type":"link-down",...}) or
+// a bare delta command. Bursts are coalesced over -feed-window; each
+// flush atomically rebuilds the session overlay and re-verifies every
+// invariant registered through the watch routes, pushing only changed
+// verdicts to subscribers. See the README's "Live mode" walkthrough.
 //
 // With -debug-addr a second listener serves the operator-facing debug
 // surface — /metrics, /debug/vars (expvar, including the metrics registry
@@ -42,6 +54,7 @@ import (
 
 	"aalwines/internal/cli"
 	"aalwines/internal/httpapi"
+	"aalwines/internal/live"
 	"aalwines/internal/obs"
 )
 
@@ -67,6 +80,10 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "worker cap for /api/verify-batch requests (0 = GOMAXPROCS)")
 	satJ := flag.Int("sat-j", 0, "saturation workers per verification (0/1 = serial; byte-identical results)")
 	debugAddr := flag.String("debug-addr", "", "debug listener for /metrics, /debug/vars and /debug/pprof/* (empty = disabled)")
+	legacyAPI := flag.Bool("legacy-api", false, "serve the deprecated unversioned /api/* aliases (default: 410 Gone)")
+	feed := flag.String("feed", "", "routing-update feed: file or FIFO path, or \"-\" for stdin (empty = disabled)")
+	feedWindow := flag.Duration("feed-window", 200*time.Millisecond, "feed debounce window: quiet time before a burst is flushed")
+	feedCap := flag.Int("feed-cap", 256, "feed burst cap: pending events that force a flush regardless of the window")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -77,6 +94,7 @@ func run() error {
 	srv.MaxBudget = *budget
 	srv.Parallel = *parallel
 	srv.SatJ = *satJ
+	srv.LegacyAPI = *legacyAPI
 
 	// The builtin network always loads; XML files add a second network.
 	builtinOnly := nf
@@ -109,6 +127,35 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *feed != "" {
+		ing, sid, err := srv.AttachLiveFeed(net.Name, live.Options{
+			Window:     *feedWindow,
+			MaxPending: *feedCap,
+			OnFlush: func(info live.FlushInfo) {
+				log.Printf("feed flush #%d: %d events -> stack %d (fp %s), %d verdicts changed, reverify %.1fms",
+					info.Seq, info.Events, info.StackLen, info.Fingerprint, info.Changed, info.ReverifyMS)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		r, err := openFeed(*feed)
+		if err != nil {
+			return err
+		}
+		log.Printf("feed %s attached to session %s on %q (window %s, cap %d)",
+			*feed, sid, net.Name, *feedWindow, *feedCap)
+		go func() {
+			defer r.Close()
+			stats, err := ing.Run(ctx, r)
+			if err != nil && ctx.Err() == nil {
+				log.Printf("feed: %v", err)
+			}
+			log.Printf("feed ended: %d events (%d errors), %d flushes, %d verdict changes",
+				stats.Events, stats.Errors, stats.Flushes, stats.Changed)
+		}()
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", *listen)
@@ -126,6 +173,16 @@ func run() error {
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)
 	}
+}
+
+// openFeed resolves the -feed flag: "-" is stdin, anything else is opened
+// as a file (a FIFO blocks in the feed goroutine until a writer appears,
+// which is the intended hand-off for router-daemon integration).
+func openFeed(path string) (*os.File, error) {
+	if path == "-" {
+		return os.Stdin, nil
+	}
+	return os.Open(path)
 }
 
 // serveDebug runs the operator-facing debug listener. It dies with the

@@ -1,9 +1,10 @@
 // Command apicontract validates the versioned HTTP API contract against a
-// running aalwinesd. It drives every /api/v1 route (plus one deprecated
-// alias) in a fixed order on a freshly-started server and compares each
-// response to a golden JSON document, after stripping volatile fields
-// (timings, translation sizes, cache counters) that legitimately vary
-// between runs and engine versions.
+// running aalwinesd. It drives every /api/v1 route — including the watch
+// subscription block and its NDJSON event transcript — plus one removed
+// legacy alias (410 Gone) in a fixed order on a freshly-started server,
+// and compares each response to a golden JSON document, after stripping
+// volatile fields (timings, translation sizes, cache counters) that
+// legitimately vary between runs and engine versions.
 //
 //	aalwinesd -listen :8080 -net running-example &
 //	apicontract -base http://localhost:8080
@@ -51,6 +52,10 @@ type step struct {
 	// golden is the basename of the expected response document; empty for
 	// bodyless responses (204).
 	golden string
+	// ndjson marks a newline-delimited-JSON response (watch event streams):
+	// each line is parsed separately and the golden holds the transcript as
+	// a JSON array.
+	ndjson bool
 }
 
 // steps is the full v1 surface in execution order. The id of the session
@@ -80,10 +85,10 @@ var steps = []step{
 	{name: "sweep-bad-depth", method: "POST", path: "/api/v1/networks/running-example/sweep",
 		body:       `{"depth":3,"invariants":["<ip> [.#v0] .* [v3#.] <ip> 0"]}`,
 		wantStatus: 400, golden: "sweep_error.json"},
-	{name: "networks-deprecated-alias", method: "GET", path: "/api/networks",
-		wantStatus:  200,
-		wantHeaders: map[string]string{"Deprecation": "true"},
-		golden:      "networks.json"}, // same payload as the v1 route
+	{name: "networks-legacy-gone", method: "GET", path: "/api/networks",
+		wantStatus:  410,
+		wantHeaders: map[string]string{"Link": `</api/v1/networks>; rel="successor-version"`},
+		golden:      "legacy_gone.json"},
 	{name: "session-create", method: "POST", path: "/api/v1/sessions",
 		body:       `{"network":"running-example"}`,
 		wantStatus: 201, golden: "session_create.json"},
@@ -107,6 +112,30 @@ var steps = []step{
 		wantStatus: 404, golden: "session_undo_missing.json"},
 	{name: "session-get", method: "GET", path: "/api/v1/sessions/{sid}",
 		wantStatus: 200, golden: "session_get.json"},
+	// The watch block runs on an empty delta stack (session-undo rolled the
+	// fail back), so the initial verdicts are the base network's. A fresh
+	// session always hands out watch id w1.
+	{name: "watch-create", method: "POST", path: "/api/v1/sessions/{sid}/watch",
+		body:       `{"invariants":["<ip> [.#v0] .* [v3#.] <ip> 0","<ip> [.#v0] .* [v3#.] <ip> 1"]}`,
+		wantStatus: 201, golden: "watch_create.json"},
+	{name: "watch-create-bad-query", method: "POST", path: "/api/v1/sessions/{sid}/watch",
+		body:       `{"invariants":["<bogus"]}`,
+		wantStatus: 422, golden: "watch_create_bad_query.json"},
+	{name: "watch-list", method: "GET", path: "/api/v1/sessions/{sid}/watch",
+		wantStatus: 200, golden: "watch_list.json"},
+	{name: "watch-events", method: "GET",
+		path:       "/api/v1/sessions/{sid}/watch/w1/events?format=ndjson&limit=2",
+		wantStatus: 200,
+		wantHeaders: map[string]string{
+			"Content-Type": "application/x-ndjson"},
+		golden: "watch_events.json", ndjson: true},
+	{name: "watch-events-missing", method: "GET",
+		path:       "/api/v1/sessions/{sid}/watch/w99/events",
+		wantStatus: 404, golden: "watch_not_found.json"},
+	{name: "watch-close", method: "DELETE", path: "/api/v1/sessions/{sid}/watch/w1",
+		wantStatus: 204},
+	{name: "watch-close-missing", method: "DELETE", path: "/api/v1/sessions/{sid}/watch/w1",
+		wantStatus: 404, golden: "watch_close_missing.json"},
 	{name: "session-close", method: "DELETE", path: "/api/v1/sessions/{sid}",
 		wantStatus: 204},
 	{name: "session-gone", method: "GET", path: "/api/v1/sessions/{sid}",
@@ -199,6 +228,17 @@ func runStep(base, goldenDir string, st step, update bool, sid *string) error {
 	}
 	if st.golden == "" {
 		return nil
+	}
+	if st.ndjson {
+		// Re-frame the line-delimited transcript as one JSON array so the
+		// canonical renderer and the golden diff work unchanged.
+		var arr []json.RawMessage
+		for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+			arr = append(arr, json.RawMessage(line))
+		}
+		if raw, err = json.Marshal(arr); err != nil {
+			return fmt.Errorf("ndjson transcript: %v", err)
+		}
 	}
 	got, err := normalize(raw, *sid)
 	if err != nil {

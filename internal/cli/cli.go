@@ -189,6 +189,21 @@ type ResultJSON struct {
 	Sizes    Sizes      `json:"sizes"`
 }
 
+// Stable returns a copy of the result with the volatile blocks zeroed:
+// wall-clock timings always differ between runs, and rule-count sizes move
+// with translation strategy (a cached unsliced build and a fresh sliced
+// build of the same network legitimately report different OverRules while
+// producing identical verdicts and witnesses). Everything the verification
+// semantics determine — query, verdict, weight, failed links, trace — is
+// kept, so two Stable results are comparable byte-for-byte across engine
+// configurations. Watch-subscription cells and the live differential
+// harness compare this form.
+func (r ResultJSON) Stable() ResultJSON {
+	r.TimingMS = Timings{}
+	r.Sizes = Sizes{}
+	return r
+}
+
 // StepJSON is one trace step.
 type StepJSON struct {
 	Link   string   `json:"link"`

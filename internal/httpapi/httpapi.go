@@ -21,19 +21,30 @@
 //	DELETE /api/v1/sessions/{id}/deltas/{seq}  → undo one delta
 //	POST   /api/v1/sessions/{id}/verify        → verify against the session overlay
 //	POST   /api/v1/sessions/{id}/verify-batch  → batch-verify against the overlay
+//	POST   /api/v1/sessions/{id}/watch         → register invariants for live re-verification
+//	GET    /api/v1/sessions/{id}/watch         → list watches
+//	DELETE /api/v1/sessions/{id}/watch/{wid}   → close a watch
+//	GET    /api/v1/sessions/{id}/watch/{wid}/events → stream verdict changes (SSE;
+//	                                             ?format=ndjson for NDJSON)
 //	GET    /healthz                            → liveness probe
 //	GET    /metrics                            → Prometheus text exposition
 //
-// The pre-versioning paths (/api/networks, /api/verify, ...) remain as
-// deprecated aliases: same handlers, plus a "Deprecation: true" header and
-// a Link header pointing at the successor route.
+// The pre-versioning paths (/api/networks, /api/verify, ...) are gone: by
+// default they answer 410 with the standard error envelope and a Link
+// header naming the successor route. Serving them (with a "Deprecation:
+// true" header) can be re-enabled for one more release cycle by setting
+// LegacyAPI (aalwinesd -legacy-api).
 //
 // Every error response, on every route, uses the same JSON envelope
 // {code, message, details?, stats?} — code is machine-readable
-// ("bad-request", "not-found", "query-error", "budget-exhausted",
+// ("bad-request", "not-found", "session-not-found", "method-not-allowed",
+// "gone", "internal-error", "query-error", "budget-exhausted",
 // "deadline-exceeded", "cancelled"), details carries request-specific
 // context (e.g. the delta command that failed), and stats carries the
-// partial timings/sizes of an aborted verification.
+// partial timings/sizes of an aborted verification. That includes routing
+// misses: an unknown /api/... path or a wrong method gets the envelope,
+// not the Go mux's plain-text page, and a handler panic surfaces as a 500
+// "internal-error" envelope rather than an empty reply.
 //
 // Networks are immutable after registration, so verification requests run
 // concurrently without locking. Each network gets a batch.Runner whose
@@ -56,6 +67,7 @@ import (
 	"aalwines/internal/batch"
 	"aalwines/internal/cli"
 	"aalwines/internal/engine"
+	"aalwines/internal/live"
 	"aalwines/internal/loc"
 	"aalwines/internal/moped"
 	"aalwines/internal/network"
@@ -86,12 +98,21 @@ type Server struct {
 	SatJ int
 	// MaxSessions caps concurrently open scenario sessions (0 = 64).
 	MaxSessions int
+	// LegacyAPI re-enables the pre-versioning route aliases (/api/networks,
+	// /api/verify, ...). Off by default: the aliases answer 410 Gone with a
+	// Link header naming the successor.
+	LegacyAPI bool
+	// Heartbeat is the keep-alive interval of watch event streams
+	// (0 = 15s).
+	Heartbeat time.Duration
 }
 
 type sessionEntry struct {
 	id      string
 	netName string
 	sess    *scenario.Session
+	// hub fans session re-verification out to watch subscriptions.
+	hub *live.Hub
 }
 
 // NewServer returns an empty server.
@@ -135,19 +156,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/sessions/{id}/verify", s.handleSessionVerify)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/verify-batch", s.handleSessionVerifyBatch)
 
-	// Deprecated pre-versioning aliases. Same handlers; responses carry a
-	// Deprecation header and a Link to the successor route.
-	mux.HandleFunc("GET /api/networks", deprecated("/api/v1/networks", s.handleList))
-	mux.HandleFunc("GET /api/networks/{name}/topology",
-		deprecated("/api/v1/networks/{name}/topology", s.handleTopology))
-	mux.HandleFunc("POST /api/verify", deprecated("/api/v1/verify", s.handleVerify))
-	mux.HandleFunc("POST /api/verify-batch", deprecated("/api/v1/verify-batch", s.handleVerifyBatch))
+	mux.HandleFunc("POST /api/v1/sessions/{id}/watch", s.handleWatchCreate)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/watch", s.handleWatchList)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}/watch/{wid}", s.handleWatchClose)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/watch/{wid}/events", s.handleWatchEvents)
+
+	// Pre-versioning aliases: 410 Gone pointing at the successor unless
+	// LegacyAPI keeps them serving for one more release cycle.
+	legacy := func(pattern, successor string, h http.HandlerFunc) {
+		if s.LegacyAPI {
+			mux.HandleFunc(pattern, deprecated(successor, h))
+		} else {
+			// No method in the pattern: every method on the dead path gets
+			// the same 410, not a 405.
+			_, path, _ := strings.Cut(pattern, " ")
+			mux.HandleFunc(path, gone(successor))
+		}
+	}
+	legacy("GET /api/networks", "/api/v1/networks", s.handleList)
+	legacy("GET /api/networks/{name}/topology", "/api/v1/networks/{name}/topology", s.handleTopology)
+	legacy("POST /api/verify", "/api/v1/verify", s.handleVerify)
+	legacy("POST /api/verify-batch", "/api/v1/verify-batch", s.handleVerifyBatch)
 
 	// Prometheus text exposition of the process-wide metrics registry:
 	// saturation counters, translation-cache effectiveness, batch latency
 	// histograms, per-phase engine timings, scenario session gauges.
 	mux.Handle("GET /metrics", obs.Handler(obs.Default))
-	return mux
+
+	// The outermost layer turns the mux's own plain-text 404/405 pages into
+	// envelope responses and catches handler panics.
+	return withMiddleware(mux)
 }
 
 // deprecated wraps a handler for a legacy route alias.
@@ -156,6 +194,17 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", `<`+successor+`>; rel="successor-version"`)
 		h(w, r)
+	}
+}
+
+// gone answers for a removed legacy route: 410 with the error envelope and
+// a Link header naming the successor.
+func gone(successor string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Link", `<`+successor+`>; rel="successor-version"`)
+		writeErrorDetails(w, http.StatusGone, "gone",
+			"this unversioned route has been removed; use "+successor,
+			map[string]string{"successor": successor})
 	}
 }
 
@@ -619,6 +668,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		id:      fmt.Sprintf("s%d", s.nextSess),
 		netName: req.Network,
 		sess:    sess,
+		hub:     s.newHub(sess),
 	}
 	s.nextSess++
 	s.sessions[e.id] = e
@@ -641,14 +691,25 @@ func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// lookupSession fetches a session entry, writing a 404 envelope when
-// missing.
+// newHub builds the watch hub of a session, verifying with the server's
+// engine defaults.
+func (s *Server) newHub(sess *scenario.Session) *live.Hub {
+	return live.NewHub(sess, live.HubOptions{
+		Engine:  engine.Options{SatJ: s.SatJ, Budget: s.MaxBudget},
+		Workers: s.Parallel,
+	})
+}
+
+// lookupSession fetches a session entry, writing a 404 envelope when the
+// id is unknown — or known but already closed: a session torn down
+// concurrently with a request must answer exactly like one that never
+// existed, not serve a half-dead object.
 func (s *Server) lookupSession(w http.ResponseWriter, id string) *sessionEntry {
 	s.mu.RLock()
 	e := s.sessions[id]
 	s.mu.RUnlock()
-	if e == nil {
-		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown session "+id,
+	if e == nil || e.sess.Closed() {
+		writeErrorDetails(w, http.StatusNotFound, "session-not-found", "unknown session "+id,
 			map[string]string{"session": id})
 		return nil
 	}
@@ -670,10 +731,13 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if e == nil {
-		writeErrorDetails(w, http.StatusNotFound, "not-found", "unknown session "+id,
+		writeErrorDetails(w, http.StatusNotFound, "session-not-found", "unknown session "+id,
 			map[string]string{"session": id})
 		return
 	}
+	// Watches are told honestly before the session dies under them; the
+	// close event is the last thing their streams deliver.
+	e.hub.Close("session-closed")
 	e.sess.Close()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -731,6 +795,10 @@ func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
 		writeApplyError(w, err, req.Commands)
 		return
 	}
+	// Watched invariants re-verify before the mutation response returns, so
+	// a client that applies a delta and then reads its watch stream sees
+	// the transition already delivered.
+	e.hub.Refresh(r.Context())
 	all := e.sess.Deltas()
 	applied := make([]scenario.AppliedDelta, 0, len(seqs))
 	for _, ad := range all {
@@ -761,6 +829,7 @@ func (s *Server) handleSessionUndo(w http.ResponseWriter, r *http.Request) {
 			map[string]string{"seq": strconv.Itoa(seq)})
 		return
 	}
+	e.hub.Refresh(r.Context())
 	writeJSON(w, http.StatusOK, sessionJSON(e, false))
 }
 

@@ -66,10 +66,16 @@ func TestListNetworks(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAliases checks the legacy unversioned routes still serve
-// the same payloads while flagging their deprecation and successor.
+// TestDeprecatedAliases checks the legacy unversioned routes — when
+// re-enabled with LegacyAPI — still serve the same payloads while flagging
+// their deprecation and successor.
 func TestDeprecatedAliases(t *testing.T) {
-	ts := newTestServer(t)
+	s := httpapi.NewServer()
+	s.LegacyAPI = true
+	s.Register(gen.RunningExample().Network)
+	s.Register(gen.Zoo(gen.ZooOpts{Routers: 16, Seed: 1, Protection: true}).Net)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
 	for _, alias := range []struct{ old, successor string }{
 		{"/api/networks", "/api/v1/networks"},
 		{"/api/networks/running-example/topology", "/api/v1/networks/{name}/topology"},
@@ -694,8 +700,8 @@ func TestSessionLifecycle(t *testing.T) {
 		t.Fatalf("get after close: status = %d, want 404", goneResp.StatusCode)
 	}
 	env := decodeEnvelope(t, goneResp)
-	if env.Code != "not-found" || env.Details["session"] != "s1" {
-		t.Errorf("envelope = %+v, want not-found with details.session=s1", env)
+	if env.Code != "session-not-found" || env.Details["session"] != "s1" {
+		t.Errorf("envelope = %+v, want session-not-found with details.session=s1", env)
 	}
 }
 

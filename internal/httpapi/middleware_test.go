@@ -1,0 +1,63 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMiddlewarePanicRecovery checks that a handler panic before any
+// response bytes becomes a 500 internal-error envelope rather than the
+// empty reply net/http produces on its own.
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	h := withMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/anything", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+		t.Fatalf("body is not an envelope: %v", err)
+	}
+	if env.Code != "internal-error" || !strings.Contains(env.Message, "boom") {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+// TestMiddlewareAbortHandlerPassthrough checks the sanctioned
+// connection-drop panic is re-raised, not converted to a 500.
+func TestMiddlewareAbortHandlerPassthrough(t *testing.T) {
+	h := withMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler was swallowed")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/api/v1/x", nil))
+}
+
+// TestMiddlewarePanicMidStream checks that once the status line is out,
+// recovery does not try to write a second response.
+func TestMiddlewarePanicMidStream(t *testing.T) {
+	h := withMiddleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"partial":`))
+		panic("mid-stream")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/x", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want the already-written 200", rec.Code)
+	}
+	if got := rec.Body.String(); got != `{"partial":` {
+		t.Fatalf("body = %q, want only the pre-panic bytes", got)
+	}
+}

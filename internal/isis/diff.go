@@ -1,0 +1,301 @@
+package isis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aalwines/internal/labels"
+	"aalwines/internal/network"
+	"aalwines/internal/routing"
+	"aalwines/internal/topology"
+)
+
+// RouterDiff is the delta set of one router between two snapshots: the
+// scenario commands that, applied to the base snapshot, reproduce the
+// router's state in the next snapshot. Commands use the same grammar as
+// scenario.ParseDelta (fail/add-entry/remove-entry), so a diff feeds
+// directly into a session's SetStack or a live event stream.
+type RouterDiff struct {
+	Router   string   `json:"router"`
+	Commands []string `json:"commands"`
+}
+
+// Diff compares two IS-IS snapshots (or any two networks sharing router,
+// link and label naming) and returns per-router delta sets transforming
+// base into next:
+//
+//   - a link present in base but absent in next becomes "fail <link>",
+//     attributed to the link's source router (its interface went down);
+//   - a routing-table slot whose content differs becomes remove-entry
+//     commands for the base entries followed by add-entry commands
+//     rebuilding next's entries in order, attributed to the router owning
+//     the key (the target of its incoming link).
+//
+// The guarantee is slot-exact: materializing the returned commands on base
+// yields a routing table equal to next's, priority group by priority
+// group (the fuzz target holds diff-after-apply empty). Diff errors on
+// changes the scenario delta language cannot express — new routers, new
+// links, new labels, or priorities beyond scenario.MaxPriority — rather
+// than return a lossy delta set.
+//
+// Routers are ordered by name, commands within a router deterministically
+// (fails first, then table edits in routing-key order).
+func Diff(base, next *network.Network) ([]RouterDiff, error) {
+	if err := sameRouters(base.Topo, next.Topo); err != nil {
+		return nil, err
+	}
+	baseLinks := linkNames(base.Topo)
+	nextLinks := linkNames(next.Topo)
+	for name := range nextLinks {
+		if _, ok := baseLinks[name]; !ok {
+			return nil, fmt.Errorf("isis: diff: link %q appears in next but not in base (deltas cannot add links)", name)
+		}
+	}
+
+	// Links gone from next are failures; keys arriving over them and
+	// entries leaving over them vanish from the overlay by the fail-link
+	// semantics, so the table diff below skips both.
+	failed := make(map[topology.LinkID]bool)
+	perRouter := make(map[string][]string)
+	for name, l := range baseLinks {
+		if _, ok := nextLinks[name]; !ok {
+			failed[l] = true
+			src := base.Topo.Routers[base.Topo.Source(l)].Name
+			perRouter[src] = append(perRouter[src], "fail "+name)
+		}
+	}
+
+	// Index next's table by (link name, label name) so keys compare across
+	// the two snapshots' independent ID spaces.
+	type namedKey struct{ in, top string }
+	nextGroups := make(map[namedKey]routing.Groups)
+	next.Routing.Range(func(k routing.Key, gs routing.Groups) bool {
+		nk := namedKey{next.Topo.LinkName(k.In), next.Labels.Name(k.Top)}
+		nextGroups[nk] = gs
+		return true
+	})
+
+	// Walk the union of keys in base's deterministic key order, then the
+	// keys only next has (sorted by name).
+	var derr error
+	seen := make(map[namedKey]bool)
+	base.Routing.Range(func(k routing.Key, bgs routing.Groups) bool {
+		if failed[k.In] {
+			return true
+		}
+		nk := namedKey{base.Topo.LinkName(k.In), base.Labels.Name(k.Top)}
+		seen[nk] = true
+		cmds, err := diffKey(base, next, nk.in, nk.top, filterFailed(bgs, failed), nextGroups[nk])
+		if err != nil {
+			derr = err
+			return false
+		}
+		if len(cmds) > 0 {
+			owner := base.Topo.Routers[base.Topo.Target(k.In)].Name
+			perRouter[owner] = append(perRouter[owner], cmds...)
+		}
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	var extra []namedKey
+	for nk := range nextGroups {
+		if !seen[nk] {
+			extra = append(extra, nk)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool {
+		if extra[i].in != extra[j].in {
+			return extra[i].in < extra[j].in
+		}
+		return extra[i].top < extra[j].top
+	})
+	for _, nk := range extra {
+		l, ok := baseLinks[nk.in]
+		if !ok {
+			return nil, fmt.Errorf("isis: diff: next routes over link %q unknown to base", nk.in)
+		}
+		if base.Labels.Lookup(nk.top) == labels.None {
+			return nil, fmt.Errorf("isis: diff: next uses label %q unknown to base (deltas cannot introduce labels)", nk.top)
+		}
+		cmds, err := diffKey(base, next, nk.in, nk.top, nil, nextGroups[nk])
+		if err != nil {
+			return nil, err
+		}
+		owner := base.Topo.Routers[base.Topo.Target(l)].Name
+		perRouter[owner] = append(perRouter[owner], cmds...)
+	}
+
+	out := make([]RouterDiff, 0, len(perRouter))
+	for r, cmds := range perRouter {
+		out = append(out, RouterDiff{Router: r, Commands: cmds})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Router < out[j].Router })
+	return out, nil
+}
+
+// Commands flattens a diff into one command list, routers in order.
+func Commands(diffs []RouterDiff) []string {
+	var out []string
+	for _, d := range diffs {
+		out = append(out, d.Commands...)
+	}
+	return out
+}
+
+// diffKey emits the commands reconciling one routing slot sequence. bgs is
+// base's view (already filtered for failed links), ngs next's; either may
+// be nil. Slots are compared priority by priority: a differing slot is
+// cleared (one remove-entry per distinct base out-link — remove-entry
+// removes every entry with that out-link from the slot) and next's entries
+// re-added in order, which reproduces the slot exactly since add-entry
+// appends.
+func diffKey(base, next *network.Network, in, top string, bgs, ngs routing.Groups) ([]string, error) {
+	n := len(bgs)
+	if len(ngs) > n {
+		n = len(ngs)
+	}
+	if n > 64 { // scenario.MaxPriority; literal to avoid an import cycle
+		return nil, fmt.Errorf("isis: diff: key (%s, %s) has %d priority groups, beyond the scenario delta cap", in, top, n)
+	}
+	var cmds []string
+	for p := 1; p <= n; p++ {
+		var bg, ng []routing.Entry
+		if p <= len(bgs) {
+			bg = bgs[p-1].Entries
+		}
+		if p <= len(ngs) {
+			ng = ngs[p-1].Entries
+		}
+		beq := renderEntries(base, bg)
+		neq := renderEntries(next, ng)
+		if equalRendered(beq, neq) {
+			continue
+		}
+		seenOut := make(map[string]bool)
+		for _, e := range beq {
+			if !seenOut[e.out] {
+				seenOut[e.out] = true
+				cmds = append(cmds, fmt.Sprintf("remove-entry %s %s %d %s", in, top, p, e.out))
+			}
+		}
+		for _, e := range neq {
+			if base.Labels.Lookup(e.topUsed) == labels.None && e.topUsed != "" {
+				return nil, fmt.Errorf("isis: diff: next uses label %q unknown to base (deltas cannot introduce labels)", e.topUsed)
+			}
+			if _, err := resolveBaseLink(base.Topo, e.out); err != nil {
+				return nil, err
+			}
+			cmd := fmt.Sprintf("add-entry %s %s %d %s", in, top, p, e.out)
+			if e.ops != "" {
+				cmd += " " + e.ops
+			}
+			cmds = append(cmds, cmd)
+		}
+	}
+	return cmds, nil
+}
+
+// renderedEntry is one forwarding entry in name form: out-link name and
+// the ";"-joined op rendering scenario.ParseDelta accepts. topUsed records
+// one label name the ops reference (for existence checks against base).
+type renderedEntry struct {
+	out     string
+	ops     string
+	topUsed string
+}
+
+func renderEntries(net *network.Network, es []routing.Entry) []renderedEntry {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([]renderedEntry, 0, len(es))
+	for _, e := range es {
+		re := renderedEntry{out: net.Topo.LinkName(e.Out)}
+		parts := make([]string, 0, len(e.Ops))
+		for _, op := range e.Ops {
+			parts = append(parts, op.Format(net.Labels))
+			if op.Kind != routing.OpPop {
+				re.topUsed = net.Labels.Name(op.Label)
+			}
+		}
+		re.ops = strings.Join(parts, ";")
+		out = append(out, re)
+	}
+	return out
+}
+
+func equalRendered(a, b []renderedEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].out != b[i].out || a[i].ops != b[i].ops {
+			return false
+		}
+	}
+	return true
+}
+
+// filterFailed drops entries leaving over a failed link, mirroring the
+// fail-link materialization (trailing empty groups are trimmed there; the
+// slot-wise comparison handles that since next has none either).
+func filterFailed(gs routing.Groups, failed map[topology.LinkID]bool) routing.Groups {
+	if len(failed) == 0 {
+		return gs
+	}
+	out := make(routing.Groups, len(gs))
+	for j, g := range gs {
+		kept := make([]routing.Entry, 0, len(g.Entries))
+		for _, e := range g.Entries {
+			if !failed[e.Out] {
+				kept = append(kept, e)
+			}
+		}
+		out[j].Entries = kept
+	}
+	for len(out) > 0 && len(out[len(out)-1].Entries) == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func linkNames(g *topology.Graph) map[string]topology.LinkID {
+	m := make(map[string]topology.LinkID, g.NumLinks())
+	for l := 0; l < g.NumLinks(); l++ {
+		m[g.LinkName(topology.LinkID(l))] = topology.LinkID(l)
+	}
+	return m
+}
+
+func resolveBaseLink(g *topology.Graph, name string) (topology.LinkID, error) {
+	for l := 0; l < g.NumLinks(); l++ {
+		if g.LinkName(topology.LinkID(l)) == name {
+			return topology.LinkID(l), nil
+		}
+	}
+	return 0, fmt.Errorf("isis: diff: next forwards over link %q unknown to base", name)
+}
+
+func sameRouters(base, next *topology.Graph) error {
+	names := func(g *topology.Graph) []string {
+		out := make([]string, 0, len(g.Routers))
+		for i := range g.Routers {
+			out = append(out, g.Routers[i].Name)
+		}
+		sort.Strings(out)
+		return out
+	}
+	b, n := names(base), names(next)
+	if len(b) != len(n) {
+		return fmt.Errorf("isis: diff: router sets differ (%d vs %d routers)", len(b), len(n))
+	}
+	for i := range b {
+		if b[i] != n[i] {
+			return fmt.Errorf("isis: diff: router sets differ (%q vs %q)", b[i], n[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package isis_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"aalwines/internal/isis"
+	"aalwines/internal/network"
+	"aalwines/internal/routing"
+	"aalwines/internal/scenario"
+	"aalwines/internal/topology"
+)
+
+// fixtureNext mutates the base fixture into a "later" snapshot:
+//
+//   - R2's LSP reroutes: the former backup next-hop (swap+push via R1)
+//     becomes the primary, and both old slots disappear;
+//   - the R3–E1 adjacency goes down, and R3's route over it with it.
+//
+// Both changes are expressible as scenario deltas against the base, which
+// is the point: Diff must reproduce them exactly.
+func fixtureNext() fstest.MapFS {
+	fsys := fixture()
+	fsys["R2-route.xml"] = &fstest.MapFile{Data: []byte(
+		`<forwarding-table-information><route-table>
+		  <rt-entry><rt-destination>299840</rt-destination>
+		    <nh><via>et-1/0/0.0</via><nh-type>Swap 299856, Push 362144(top)</nh-type><weight>0x1</weight></nh>
+		  </rt-entry>
+		</route-table></forwarding-table-information>`)}
+	fsys["R3-adj.xml"] = &fstest.MapFile{Data: []byte(
+		`<isis-adjacency-information><isis-adjacency>
+		 <interface-name>et-4/0/0.0</interface-name><system-name>R2</system-name>
+		 <adjacency-state>Up</adjacency-state></isis-adjacency></isis-adjacency-information>`)}
+	fsys["R3-route.xml"] = &fstest.MapFile{Data: []byte(
+		`<forwarding-table-information></forwarding-table-information>`)}
+	return fsys
+}
+
+func loadPair(t *testing.T) (base, next *network.Network) {
+	t.Helper()
+	base, err := isis.Load(fixture(), "mapping.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err = isis.Load(fixtureNext(), "mapping.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, next
+}
+
+// linkBetween returns the base name of the directed link src→dst.
+func linkBetween(t *testing.T, net *network.Network, src, dst string) string {
+	t.Helper()
+	s, d := net.Topo.RouterByName(src), net.Topo.RouterByName(dst)
+	for _, l := range net.Topo.Routers[s].Out() {
+		if net.Topo.Target(l) == d {
+			return net.Topo.LinkName(l)
+		}
+	}
+	t.Fatalf("no link %s→%s", src, dst)
+	return ""
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a, err := isis.Load(fixture(), "mapping.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := isis.Load(fixture(), "mapping.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := isis.Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("identical snapshots diffed to %v", diffs)
+	}
+}
+
+func TestDiffGoldenPair(t *testing.T) {
+	base, next := loadPair(t)
+	diffs, err := isis.Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2r3 := linkBetween(t, base, "R2", "R3")
+	r2r1 := linkBetween(t, base, "R2", "R1")
+	r3e1 := linkBetween(t, base, "R3", "E1")
+	e1r3 := linkBetween(t, base, "E1", "R3")
+
+	// R2's rules key on every incoming link of R2, in routing.Range order
+	// (ascending link id).
+	r2 := base.Topo.RouterByName("R2")
+	ins := append([]topology.LinkID(nil), base.Topo.Routers[r2].In()...)
+	sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+	var r2cmds []string
+	for _, in := range ins {
+		name := base.Topo.LinkName(in)
+		r2cmds = append(r2cmds,
+			fmt.Sprintf("remove-entry %s s299840 1 %s", name, r2r3),
+			fmt.Sprintf("add-entry %s s299840 1 %s swap(s299856);push(362144)", name, r2r1),
+			fmt.Sprintf("remove-entry %s s299840 2 %s", name, r2r1),
+		)
+	}
+	want := []isis.RouterDiff{
+		{Router: "E1", Commands: []string{"fail " + e1r3}},
+		{Router: "R2", Commands: r2cmds},
+		{Router: "R3", Commands: []string{"fail " + r3e1}},
+	}
+	if !reflect.DeepEqual(diffs, want) {
+		t.Fatalf("diff mismatch:\n got  %v\n want %v", diffs, want)
+	}
+}
+
+// renderTable projects a routing table into the shared name space so tables
+// of independently loaded networks (distinct link and label id spaces)
+// compare meaningfully.
+func renderTable(net *network.Network) map[string]string {
+	out := make(map[string]string)
+	net.Routing.Range(func(k routing.Key, gs routing.Groups) bool {
+		var b strings.Builder
+		for p, g := range gs {
+			fmt.Fprintf(&b, "p%d:", p+1)
+			for _, e := range g.Entries {
+				b.WriteString(net.Topo.LinkName(e.Out))
+				b.WriteString("[")
+				for i, op := range e.Ops {
+					if i > 0 {
+						b.WriteString(";")
+					}
+					b.WriteString(op.Format(net.Labels))
+				}
+				b.WriteString("] ")
+			}
+			b.WriteString("\n")
+		}
+		out[net.Topo.LinkName(k.In)+"|"+net.Labels.Name(k.Top)] = b.String()
+		return true
+	})
+	return out
+}
+
+// TestDiffApply closes the loop: applying the diff's commands to the base
+// snapshot through a scenario session materializes a routing table equal to
+// the next snapshot's, and a second diff comes back empty.
+func TestDiffApply(t *testing.T) {
+	base, next := loadPair(t)
+	diffs, err := isis.Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := scenario.NewSession(base)
+	defer sess.Close()
+	var ds []scenario.Delta
+	for _, cmd := range isis.Commands(diffs) {
+		d, err := scenario.ParseDelta(cmd)
+		if err != nil {
+			t.Fatalf("diff emitted unparsable command %q: %v", cmd, err)
+		}
+		ds = append(ds, d)
+	}
+	if _, err := sess.SetStack(ds); err != nil {
+		t.Fatalf("diff commands rejected by session: %v", err)
+	}
+	applied := sess.MaterializeFresh()
+
+	got, want := renderTable(applied), renderTable(next)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("applied table differs from next snapshot:\n got  %v\n want %v", got, want)
+	}
+
+	// applied shares base's topology (failed links filter routing, not
+	// topo), so re-diffing against next re-detects only the dead links —
+	// no residual table edits.
+	rediff, err := isis.Diff(applied, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRe := []isis.RouterDiff{
+		{Router: "E1", Commands: []string{"fail " + linkBetween(t, base, "E1", "R3")}},
+		{Router: "R3", Commands: []string{"fail " + linkBetween(t, base, "R3", "E1")}},
+	}
+	if !reflect.DeepEqual(rediff, wantRe) {
+		t.Fatalf("residual diff: got %v, want %v", rediff, wantRe)
+	}
+}
+
+func TestDiffInexpressible(t *testing.T) {
+	base, next := loadPair(t)
+	// next→base adds the R3–E1 link back — deltas cannot create links.
+	if _, err := isis.Diff(next, base); err == nil {
+		t.Fatal("diff toward a snapshot with extra links should error")
+	}
+}
+
+// FuzzDiffApply drives the diff-apply loop with adversarial delta stacks:
+// any overlay a session can materialize from the base snapshot must
+// round-trip through Diff — diff(base, overlay) applies back to a table
+// equal to the overlay's, and diff(applied, overlay) is empty.
+func FuzzDiffApply(f *testing.F) {
+	f.Add("fail R2.et-2/0/0.0#R3.et-4/0/0.0")
+	f.Add("drain R3")
+	f.Add("remove-entry R1.et-0/0/0.0#R2.et-1/0/0.0 s299840 2 R2.et-1/0/0.0#R1.et-0/0/0.0")
+	f.Add("add-entry R3.et-4/0/0.0#R2.et-2/0/0.0 s299840 3 R2.et-1/0/0.0#R1.et-0/0/0.0 swap(s299856)")
+	f.Add("swap-priority R1.et-0/0/0.0#R2.et-1/0/0.0 s299840 1 2")
+	f.Add("fail R3.et-3/0/0.0#E1\ndrain R1\nundrain R1")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		deltas, err := scenario.ParseScenario(text)
+		if err != nil || len(deltas) == 0 || len(deltas) > 6 {
+			return
+		}
+		base, err := isis.Load(fixture(), "mapping.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := scenario.NewSession(base)
+		defer sess.Close()
+		applied := 0
+		for _, d := range deltas {
+			if _, err := sess.Apply(d); err == nil {
+				applied++
+			}
+		}
+		if applied == 0 {
+			return
+		}
+		overlay := sess.MaterializeFresh()
+
+		// overlay shares base's topology and labels, so every difference is
+		// table content — Diff must express it without error.
+		diffs, err := isis.Diff(base, overlay)
+		if err != nil {
+			t.Fatalf("diff of session overlay inexpressible: %v", err)
+		}
+		s2 := scenario.NewSession(base)
+		defer s2.Close()
+		var ds []scenario.Delta
+		for _, cmd := range isis.Commands(diffs) {
+			d, perr := scenario.ParseDelta(cmd)
+			if perr != nil {
+				t.Fatalf("diff emitted unparsable command %q: %v", cmd, perr)
+			}
+			ds = append(ds, d)
+		}
+		if _, err := s2.SetStack(ds); err != nil {
+			t.Fatalf("diff commands rejected: %v", err)
+		}
+		reapplied := s2.MaterializeFresh()
+		if got, want := renderTable(reapplied), renderTable(overlay); !reflect.DeepEqual(got, want) {
+			t.Fatalf("diff-apply round trip differs:\n got  %v\n want %v", got, want)
+		}
+		rediff, err := isis.Diff(reapplied, overlay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rediff) != 0 {
+			t.Fatalf("diff after apply not empty: %v", rediff)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package live
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"aalwines/internal/batch"
+	"aalwines/internal/engine"
+	"aalwines/internal/gen"
+	"aalwines/internal/network"
+	"aalwines/internal/obs"
+	"aalwines/internal/scenario"
+	"aalwines/internal/topology"
+)
+
+// freshCell verifies one query from scratch on a standalone network — the
+// reference the hub's incremental cells are compared against.
+func freshCell(net *network.Network, q string) Cell {
+	res, err := engine.VerifyText(net, q, engine.Options{})
+	return CellOf(net, batch.Result{Query: q, Res: res, Err: err})
+}
+
+// TestLiveReplayDifferential is the tentpole's acceptance harness: a
+// ≥50-event stream (curated prologue + seeded random churn) over a zoo-30
+// network replays through the ingester with a watch registered, and after
+// EVERY flush each watched cell must be byte-identical to a from-scratch
+// verification of the materialized network at that version. The watch
+// client must then have seen the initial states plus every transition
+// exactly once, in order, and the incremental cache must have served at
+// least half the rule blocks across the replay's re-verifications.
+func TestLiveReplayDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential replay is a long test")
+	}
+	syn := gen.Zoo(gen.ZooOpts{Routers: 30, Seed: 7, Protection: true})
+	net := syn.Net
+	sess := scenario.NewSession(net)
+	defer sess.Close()
+	hub := NewHub(sess, HubOptions{})
+
+	var queries []string
+	for _, gq := range syn.Queries(6, 11) {
+		queries = append(queries, gq.Text)
+	}
+	w, err := hub.AddWatch(context.Background(), queries, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The expected watch stream: initial cells now, then per flush the
+	// cells whose rendering changed, in registration order.
+	type transition struct {
+		query string
+		raw   []byte
+	}
+	var expected []transition
+	prev := make(map[string][]byte, len(queries))
+	for _, c := range hub.Cells() {
+		prev[c.Query] = c.render()
+		expected = append(expected, transition{c.Query, c.render()})
+	}
+
+	// Build the feed: a curated prologue exercising every event form, then
+	// seeded random link churn with flush points, then total restoration.
+	rng := rand.New(rand.NewSource(23))
+	g := net.Topo
+	var b strings.Builder
+	emit := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	emit("# live replay feed (zoo-30, seed 23)")
+	l0 := g.LinkName(topology.LinkID(0))
+	emit(`{"type":"link-down","link":%q}`, l0)
+	emit(`{"type":"link-up","link":%q}`, l0) // cancels in the same window
+	emit(`{"type":"router-down","router":%q}`, g.Routers[1].Name)
+	emit("flush")
+	emit(`{"type":"router-up","router":%q}`, g.Routers[1].Name)
+	emit(`{"type":"delta","cmds":[%q]}`, "fail "+g.LinkName(topology.LinkID(1)))
+	emit("flush")
+	events := 7
+	down := map[int]bool{1: true}
+	for events < 56 {
+		l := rng.Intn(g.NumLinks())
+		if down[l] {
+			delete(down, l)
+			emit(`{"type":"link-up","link":%q}`, g.LinkName(topology.LinkID(l)))
+		} else {
+			down[l] = true
+			emit(`{"type":"link-down","link":%q}`, g.LinkName(topology.LinkID(l)))
+		}
+		events++
+		if events%7 == 0 {
+			emit("flush")
+			events++
+		}
+	}
+	for l := range down {
+		emit(`{"type":"link-up","link":%q}`, g.LinkName(topology.LinkID(l)))
+		events++
+	}
+	t.Logf("feed: %d events", events)
+
+	reusedBase := obs.GetCounter("scenario_rule_blocks_reused_total").Value()
+	rebuiltBase := obs.GetCounter("scenario_rule_blocks_rebuilt_total").Value()
+
+	flushes := 0
+	onFlush := func(info FlushInfo) {
+		flushes++
+		// Differential soundness: every watched cell byte-identical to a
+		// from-scratch verification of the materialized network.
+		fresh := sess.MaterializeFresh()
+		for _, c := range hub.Cells() {
+			want := freshCell(fresh, c.Query)
+			if !bytes.Equal(c.render(), want.render()) {
+				t.Fatalf("flush %d (%s): cell diverged from fresh verification\n live:  %s\n fresh: %s",
+					info.Seq, info.Fingerprint, c.render(), want.render())
+			}
+			if raw := c.render(); !bytes.Equal(raw, prev[c.Query]) {
+				expected = append(expected, transition{c.Query, raw})
+				prev[c.Query] = raw
+			}
+		}
+	}
+
+	ing := NewIngester(sess, Options{Hub: hub, OnFlush: onFlush})
+	stats, err := ing.Run(context.Background(), strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events < 50 {
+		t.Fatalf("replayed %d events, want ≥50", stats.Events)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("replay hit %d event errors", stats.Errors)
+	}
+	if flushes != stats.Flushes || flushes < 5 {
+		t.Fatalf("flushes = %d (stats %d), want ≥5", flushes, stats.Flushes)
+	}
+
+	// The final restoration must return the session to the empty stack.
+	if got := len(sess.Deltas()); got != 0 {
+		t.Fatalf("final stack = %d deltas, want 0 after full restoration", got)
+	}
+
+	// Exactly-once, in-order delivery: the watch saw precisely the expected
+	// transition sequence (buffer 4096 — no gaps).
+	var got []transition
+	evs, open := w.Next(context.Background(), time.Second)
+	if !open {
+		t.Fatal("watch closed unexpectedly")
+	}
+	for _, ev := range evs {
+		if ev.Type == "gap" {
+			t.Fatalf("unexpected gap event (%d dropped) with an ample buffer", ev.Dropped)
+		}
+		if ev.Type != "verdict" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		got = append(got, transition{ev.Query, ev.Cell.render()})
+	}
+	if more, _ := w.Next(context.Background(), 10*time.Millisecond); len(more) != 0 {
+		t.Fatalf("events left after full drain: %+v", more)
+	}
+	if len(got) != len(expected) {
+		t.Fatalf("watch saw %d events, expected %d", len(got), len(expected))
+	}
+	for i := range got {
+		if got[i].query != expected[i].query || !bytes.Equal(got[i].raw, expected[i].raw) {
+			t.Fatalf("event %d: got (%s, %s), want (%s, %s)",
+				i, got[i].query, got[i].raw, expected[i].query, expected[i].raw)
+		}
+	}
+	if len(expected) <= len(queries) {
+		t.Fatalf("replay produced no verdict transitions beyond the initial states (%d events)", len(expected))
+	}
+
+	// Incremental cache effectiveness across the replay: at least half the
+	// rule blocks of all re-verifications came from the cache.
+	reused := obs.GetCounter("scenario_rule_blocks_reused_total").Value() - reusedBase
+	rebuilt := obs.GetCounter("scenario_rule_blocks_rebuilt_total").Value() - rebuiltBase
+	if reused+rebuilt == 0 {
+		t.Fatal("no translation activity recorded")
+	}
+	ratio := float64(reused) / float64(reused+rebuilt)
+	t.Logf("rule blocks: %d reused / %d rebuilt (%.1f%% reuse) over %d flushes",
+		reused, rebuilt, 100*ratio, flushes)
+	if ratio < 0.5 {
+		t.Fatalf("rule-block reuse %.1f%% < 50%%", 100*ratio)
+	}
+}

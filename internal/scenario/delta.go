@@ -274,6 +274,25 @@ func resolveLink(g *topology.Graph, name string) (topology.LinkID, error) {
 	return 0, fmt.Errorf("scenario: unknown link %q", name)
 }
 
+// ValidateDelta resolves every name d references against net and bounds
+// its priority slots, without mutating anything — the same check ApplyAll
+// and SetStack run before touching a session's stack. Stream ingesters use
+// it to reject a bad event at arrival time instead of poisoning the whole
+// coalesced flush it would land in.
+func ValidateDelta(net *network.Network, d Delta) error { return d.validate(net) }
+
+// CanonicalLink resolves a link name against the network and returns its
+// canonical "A.if1#B.if2" rendering. Desired-state coalescers key failed
+// links by this form so "A#B" and the interface-qualified name of the same
+// link cancel each other.
+func CanonicalLink(net *network.Network, name string) (string, error) {
+	l, err := resolveLink(net.Topo, name)
+	if err != nil {
+		return "", err
+	}
+	return net.Topo.LinkName(l), nil
+}
+
 // touched returns the routers whose routing content the delta can affect —
 // the dirty set driving rule-block invalidation. A link delta touches both
 // endpoints (the source loses forwarding entries over the link, the target

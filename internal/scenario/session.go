@@ -78,6 +78,15 @@ func (s *Session) Close() {
 	}
 }
 
+// Closed reports whether Close has been called. Long-lived consumers (the
+// HTTP watch hub, the live feed ingester) poll it to stop serving a
+// session that was torn down underneath them.
+func (s *Session) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Base returns the immutable base network.
 func (s *Session) Base() *network.Network { return s.base }
 

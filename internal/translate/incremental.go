@@ -102,6 +102,28 @@ type BuildStats struct {
 	BlocksRebuilt int
 }
 
+// Total returns the number of rule blocks the build(s) touched.
+func (st BuildStats) Total() int { return st.BlocksReused + st.BlocksRebuilt }
+
+// ReuseRatio returns the fraction of touched blocks served from cache, in
+// [0, 1]; 0 when nothing was built yet. Live-mode flush reports and the
+// differential replay harness gate on it.
+func (st BuildStats) ReuseRatio() float64 {
+	if st.Total() == 0 {
+		return 0
+	}
+	return float64(st.BlocksReused) / float64(st.Total())
+}
+
+// Sub returns the stats accumulated since an earlier snapshot — the
+// per-flush delta of a session's cumulative BlockStats.
+func (st BuildStats) Sub(prev BuildStats) BuildStats {
+	return BuildStats{
+		BlocksReused:  st.BlocksReused - prev.BlocksReused,
+		BlocksRebuilt: st.BlocksRebuilt - prev.BlocksRebuilt,
+	}
+}
+
 // BuildIncremental constructs the same System Build would, but partitioned
 // by routing-table key: keys whose cached block (under version(key)) is
 // present are spliced in without re-running rule emission, keys without
