@@ -54,6 +54,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -797,8 +798,10 @@ func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
 	}
 	// Watched invariants re-verify before the mutation response returns, so
 	// a client that applies a delta and then reads its watch stream sees
-	// the transition already delivered.
-	e.hub.Refresh(r.Context())
+	// the transition already delivered. Detached from the request context:
+	// the mutator disconnecting must not cancel re-verification and push
+	// spurious "cancelled" cells to every other watcher.
+	e.hub.Refresh(context.WithoutCancel(r.Context()))
 	all := e.sess.Deltas()
 	applied := make([]scenario.AppliedDelta, 0, len(seqs))
 	for _, ad := range all {
@@ -829,7 +832,9 @@ func (s *Server) handleSessionUndo(w http.ResponseWriter, r *http.Request) {
 			map[string]string{"seq": strconv.Itoa(seq)})
 		return
 	}
-	e.hub.Refresh(r.Context())
+	// Detached like handleSessionDeltas: one client's disconnect must not
+	// poison other subscribers' streams with cancelled cells.
+	e.hub.Refresh(context.WithoutCancel(r.Context()))
 	writeJSON(w, http.StatusOK, sessionJSON(e, false))
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"aalwines/internal/gen"
 	"aalwines/internal/httpapi"
@@ -167,6 +168,79 @@ func TestWatchLifecycle(t *testing.T) {
 	gresp.Body.Close()
 	if env.Code != "watch-not-found" {
 		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+// TestWatchLimitIgnoresHeartbeats is the regression test for heartbeats
+// counting toward ?limit: a quiet stream with limit=N must stay open
+// through any number of keep-alives and end only after N real events.
+func TestWatchLimitIgnoresHeartbeats(t *testing.T) {
+	s := httpapi.NewServer()
+	s.Register(gen.RunningExample().Network)
+	s.Heartbeat = 20 * time.Millisecond
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	sid := createTestSession(t, ts.URL)
+	base := ts.URL + "/api/v1/sessions/" + sid
+	const q = "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0"
+
+	// One-shot verify to learn a link on the witness path before the watch
+	// stream (which consumes the initial cell) is attached.
+	vresp := doJSON(t, http.MethodPost, base+"/verify", httpapi.VerifyRequest{Query: q})
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: status = %d", vresp.StatusCode)
+	}
+	witness := decodeBody[struct {
+		Trace []struct {
+			Link string `json:"link"`
+		} `json:"trace"`
+	}](t, vresp)
+	vresp.Body.Close()
+	if len(witness.Trace) == 0 {
+		t.Fatal("witness query returned no trace")
+	}
+
+	resp := doJSON(t, http.MethodPost, base+"/watch",
+		httpapi.WatchCreateRequest{Invariants: []string{q}})
+	info := decodeBody[live.WatchInfo](t, resp)
+	resp.Body.Close()
+
+	done := make(chan []live.WatchEvent, 1)
+	go func() {
+		done <- readNDJSONEvents(t, base+"/watch/"+info.ID+"/events?format=ndjson&limit=2")
+	}()
+
+	// The pending initial verdict is the only real event; several heartbeat
+	// periods later the stream must still be waiting for the second.
+	time.Sleep(150 * time.Millisecond)
+	select {
+	case evs := <-done:
+		t.Fatalf("stream ended on heartbeats alone: %+v", evs)
+	default:
+	}
+
+	dresp := doJSON(t, http.MethodPost, base+"/deltas",
+		httpapi.SessionDeltasRequest{Commands: []string{"fail " + witness.Trace[0].Link}})
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delta: status = %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+
+	evs := <-done
+	var real, beats int
+	for _, ev := range evs {
+		if ev.Type == "heartbeat" {
+			beats++
+		} else {
+			real++
+		}
+	}
+	if real != 2 || evs[len(evs)-1].Type != "verdict" {
+		t.Fatalf("stream = %+v, want exactly 2 real events ending in a verdict", evs)
+	}
+	if beats == 0 {
+		t.Fatal("no heartbeats observed — the limit semantics were not exercised")
 	}
 }
 

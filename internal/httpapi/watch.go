@@ -135,7 +135,11 @@ func (s *Server) handleWatchEvents(w http.ResponseWriter, r *http.Request) {
 			data, _ := json.Marshal(ev)
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
 		}
-		sent++
+		// Heartbeats only keep the connection alive — a transcript asking
+		// for limit=N is owed N real events, however quiet the stream.
+		if ev.Type != "heartbeat" {
+			sent++
+		}
 		return limit == 0 || sent < limit
 	}
 	for {

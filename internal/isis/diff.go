@@ -182,8 +182,10 @@ func diffKey(base, next *network.Network, in, top string, bgs, ngs routing.Group
 			}
 		}
 		for _, e := range neq {
-			if base.Labels.Lookup(e.topUsed) == labels.None && e.topUsed != "" {
-				return nil, fmt.Errorf("isis: diff: next uses label %q unknown to base (deltas cannot introduce labels)", e.topUsed)
+			for _, lbl := range e.labelsUsed {
+				if base.Labels.Lookup(lbl) == labels.None {
+					return nil, fmt.Errorf("isis: diff: next uses label %q unknown to base (deltas cannot introduce labels)", lbl)
+				}
 			}
 			if _, err := resolveBaseLink(base.Topo, e.out); err != nil {
 				return nil, err
@@ -199,12 +201,14 @@ func diffKey(base, next *network.Network, in, top string, bgs, ngs routing.Group
 }
 
 // renderedEntry is one forwarding entry in name form: out-link name and
-// the ";"-joined op rendering scenario.ParseDelta accepts. topUsed records
-// one label name the ops reference (for existence checks against base).
+// the ";"-joined op rendering scenario.ParseDelta accepts. labelsUsed
+// records every label name the ops reference (for existence checks against
+// base — a multi-op entry can mix known and unknown labels, and all of
+// them must exist or the delta is lossy).
 type renderedEntry struct {
-	out     string
-	ops     string
-	topUsed string
+	out        string
+	ops        string
+	labelsUsed []string
 }
 
 func renderEntries(net *network.Network, es []routing.Entry) []renderedEntry {
@@ -218,7 +222,9 @@ func renderEntries(net *network.Network, es []routing.Entry) []renderedEntry {
 		for _, op := range e.Ops {
 			parts = append(parts, op.Format(net.Labels))
 			if op.Kind != routing.OpPop {
-				re.topUsed = net.Labels.Name(op.Label)
+				if name := net.Labels.Name(op.Label); name != "" {
+					re.labelsUsed = append(re.labelsUsed, name)
+				}
 			}
 		}
 		re.ops = strings.Join(parts, ";")

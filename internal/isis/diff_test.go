@@ -194,6 +194,31 @@ func TestDiffApply(t *testing.T) {
 	}
 }
 
+// TestDiffUnknownLabelInMultiOpEntry puts the base-unknown label in the
+// FIRST op of a multi-op entry while the final op's label is known: a
+// last-op-only existence check would let the lossy delta through to fail
+// only at apply time. Diff must reject it up front.
+func TestDiffUnknownLabelInMultiOpEntry(t *testing.T) {
+	base, err := isis.Load(fixture(), "mapping.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := fixture()
+	fsys["R2-route.xml"] = &fstest.MapFile{Data: []byte(
+		`<forwarding-table-information><route-table>
+		  <rt-entry><rt-destination>299840</rt-destination>
+		    <nh><via>et-1/0/0.0</via><nh-type>Swap 999999, Push 362144(top)</nh-type><weight>0x1</weight></nh>
+		  </rt-entry>
+		</route-table></forwarding-table-information>`)}
+	next, err := isis.Load(fsys, "mapping.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := isis.Diff(base, next); err == nil || !strings.Contains(err.Error(), "s999999") {
+		t.Fatalf("diff err = %v, want unknown-label error naming s999999", err)
+	}
+}
+
 func TestDiffInexpressible(t *testing.T) {
 	base, next := loadPair(t)
 	// next→base adds the R3–E1 link back — deltas cannot create links.

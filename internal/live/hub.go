@@ -222,8 +222,19 @@ func (h *Hub) AddWatch(ctx context.Context, invariants []string, buffer int) (*W
 		if !w.queries[q] {
 			w.queries[q] = true
 			w.invariants = append(w.invariants, q)
-			h.cells[q].refs++
-			cell := h.cells[q].cell
+			st, ok := h.cells[q]
+			if !ok {
+				// Unreachable while CloseWatch serializes under refreshMu,
+				// but a vanished cell must never panic the seeding loop:
+				// re-track the query with an error cell — the next Refresh
+				// verifies it for real and pushes the correction.
+				c := Cell{Query: q, Error: "cell lost during watch creation", Code: "internal-error"}
+				st = &cellState{cell: c, raw: c.render()}
+				h.cells[q] = st
+				h.order = append(h.order, q)
+			}
+			st.refs++
+			cell := st.cell
 			w.push(WatchEvent{Type: "verdict", Seq: h.seq, Fingerprint: fp, Query: q, Cell: &cell})
 		}
 	}
@@ -340,11 +351,25 @@ func (h *Hub) Cells() []Cell {
 // overflowing queues evict an older event for it) and the watch is
 // unregistered, releasing its invariants. Reports whether the id existed.
 func (h *Hub) CloseWatch(id, reason string) bool {
+	// Under refreshMu: AddWatch drops h.mu during its seeding verification
+	// and expects tracked cells to survive that window; a CloseWatch
+	// releasing the last reference in between would delete a cell out from
+	// under the seeding loop.
+	h.refreshMu.Lock()
+	defer h.refreshMu.Unlock()
+
 	h.mu.Lock()
 	w := h.watches[id]
 	if w == nil {
 		h.mu.Unlock()
 		return false
+	}
+	if h.closed {
+		// Close already ended every watch and settled the gauge; the id
+		// stays addressable for draining only, so there is no ref or gauge
+		// bookkeeping left to do.
+		h.mu.Unlock()
+		return true
 	}
 	delete(h.watches, id)
 	for _, q := range w.invariants {

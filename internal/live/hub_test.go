@@ -172,6 +172,80 @@ func TestWatchBackpressureGap(t *testing.T) {
 	}
 }
 
+// TestCloseWatchDuringAddWatchSeeding is the regression test for the
+// AddWatch/CloseWatch race: AddWatch drops h.mu during its seeding
+// verification, and a concurrent CloseWatch dropping the last reference to
+// an already-tracked query must not delete its cell out from under the
+// seeding loop (nil-pointer panic, leaked refs). Run with -race.
+func TestCloseWatchDuringAddWatchSeeding(t *testing.T) {
+	_, hub := newHubFixture(t)
+	ctx := context.Background()
+	// Same invariant with a different failure budget: parses fine, is never
+	// pre-tracked, and forces the fresh-verification window.
+	const other = "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 1"
+	for i := 0; i < 10; i++ {
+		w1, err := hub.AddWatch(ctx, []string{witnessQuery}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := make(chan struct{})
+		go func() {
+			defer close(closed)
+			hub.CloseWatch(w1.ID(), "client-request")
+		}()
+		// witnessQuery is tracked via w1; other is fresh, so this AddWatch
+		// verifies outside h.mu — the window the CloseWatch above races.
+		w2, err := hub.AddWatch(ctx, []string{witnessQuery, other}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-closed
+		verdicts := 0
+		for _, ev := range drainAll(t, w2) {
+			if ev.Type == "verdict" {
+				verdicts++
+				if ev.Cell == nil || ev.Cell.Code == "internal-error" {
+					t.Fatalf("seeded a lost cell: %+v", ev)
+				}
+			}
+		}
+		if verdicts != 2 {
+			t.Fatalf("seeded %d verdicts, want 2", verdicts)
+		}
+		if !hub.CloseWatch(w2.ID(), "client-request") {
+			t.Fatal("CloseWatch(w2) did not find the watch")
+		}
+	}
+}
+
+// TestCloseWatchAfterHubClose checks CloseWatch on a closed hub is a
+// bookkeeping no-op: Close already settled the live-watch gauge and the
+// cell refs, so a racing per-watch close must not decrement them again.
+func TestCloseWatchAfterHubClose(t *testing.T) {
+	_, hub := newHubFixture(t)
+	w, err := hub.AddWatch(context.Background(), []string{witnessQuery}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mWatchesLive.Value()
+	hub.Close("session-closed")
+	if got := mWatchesLive.Value(); got != before-1 {
+		t.Fatalf("gauge after Close = %d, want %d", got, before-1)
+	}
+	// The id stays addressable for draining; re-closing reports it existed
+	// but must not touch the gauge again.
+	if !hub.CloseWatch(w.ID(), "client-request") {
+		t.Fatal("CloseWatch on closed hub did not find the watch")
+	}
+	if got := mWatchesLive.Value(); got != before-1 {
+		t.Fatalf("gauge after CloseWatch on closed hub = %d, want %d", got, before-1)
+	}
+	evs, open := w.Next(context.Background(), time.Second)
+	if open || len(evs) == 0 || evs[len(evs)-1].Reason != "session-closed" {
+		t.Fatalf("drain after double close = %+v open=%v", evs, open)
+	}
+}
+
 func TestWatchStreamAttach(t *testing.T) {
 	_, hub := newHubFixture(t)
 	w, err := hub.AddWatch(context.Background(), []string{witnessQuery}, 0)
